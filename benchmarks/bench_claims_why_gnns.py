@@ -1,0 +1,194 @@
+"""Sec. 2.5 — "Why are GNNs required for TDL?": the five claims, measured.
+
+The paper argues GNNs help tabular learning through (a) instance
+correlation, (b) feature interaction, (c) high-order connectivity,
+(d) supervision signal, (e) inductive capability.  Each claim gets a
+controlled experiment whose *shape* (who wins, and when the advantage
+vanishes) is the reproduced artifact.
+"""
+
+import numpy as np
+from _harness import once, record_table
+
+from repro import nn
+from repro.baselines import LogisticRegressionClassifier, MLPClassifier
+from repro.construction.rules import knn_graph
+from repro.datasets import (
+    make_correlated_instances,
+    make_feature_interaction,
+    train_val_test_masks,
+)
+from repro.gnn.networks import GCN
+from repro.metrics import accuracy
+from repro.models import FATE, KNNGraphClassifier, FeatureGraphClassifier
+from repro.training.trainer import Trainer
+
+EPOCHS = 100
+ROWS = []
+
+
+def test_claim_a_instance_correlation(benchmark):
+    """GNN beats MLP iff the data actually contains instance correlation."""
+
+    def run():
+        out = {}
+        for strength in (0.0, 2.0):
+            ds = make_correlated_instances(
+                n=300, cluster_strength=strength, flip_y=0.05, seed=0
+            )
+            x = ds.to_matrix()
+            rng = np.random.default_rng(0)
+            train, val, test = train_val_test_masks(300, 0.15, 0.15, rng,
+                                                    stratify=ds.y)
+            gnn = KNNGraphClassifier(k=8, max_epochs=EPOCHS, seed=0)
+            gnn.fit(x, ds.y, train_mask=train, val_mask=val)
+            gnn_acc = accuracy(ds.y[test], gnn.predict(test))
+            mlp = MLPClassifier(hidden_dims=(32,), epochs=EPOCHS, seed=0)
+            mlp.fit(x[train], ds.y[train])
+            mlp_acc = accuracy(ds.y[test], mlp.predict(x[test]))
+            out[strength] = (gnn_acc, mlp_acc)
+        return out
+
+    results = once(benchmark, run)
+    for strength, (gnn_acc, mlp_acc) in results.items():
+        ROWS.append((f"(a) instance correlation (strength={strength})",
+                     "kNN-GCN", gnn_acc, "MLP", mlp_acc))
+    # With correlation the GNN wins; without it, nobody beats chance by much.
+    assert results[2.0][0] > results[2.0][1]
+    assert results[0.0][0] < 0.55 and results[0.0][1] < 0.55
+
+
+def test_claim_b_feature_interaction(benchmark):
+    """Interaction-aware models solve XOR-style data; marginal models cannot."""
+    ds = make_feature_interaction(n=800, num_pairs=2, noise_features=4, seed=0)
+    x = ds.numerical
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(800, 0.6, 0.2, rng, stratify=ds.y)
+
+    def run():
+        logistic = LogisticRegressionClassifier(epochs=400).fit(x[train], ds.y[train])
+        log_acc = accuracy(ds.y[test], logistic.predict(x[test]))
+        model = FeatureGraphClassifier(x.shape[1], 2, np.random.default_rng(0),
+                                       embed_dim=16)
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, opt, max_epochs=2 * EPOCHS, patience=40)
+        trainer.fit(
+            lambda: nn.cross_entropy(model(x), ds.y, mask=train),
+            lambda: accuracy(ds.y[val], model(x).data.argmax(1)[val]),
+        )
+        fg_acc = accuracy(ds.y[test], model(x).data.argmax(1)[test])
+        return log_acc, fg_acc
+
+    log_acc, fg_acc = once(benchmark, run)
+    ROWS.append(("(b) feature interaction (XOR pairs)", "feature-graph GNN",
+                 fg_acc, "logistic (marginal)", log_acc))
+    assert log_acc < 0.62  # marginal model is near chance
+    assert fg_acc > log_acc + 0.1
+
+
+def test_claim_c_high_order_connectivity(benchmark):
+    """Deeper message passing exploits multi-hop structure at low label rates."""
+    ds = make_correlated_instances(n=300, cluster_strength=1.2, seed=1)
+    x = ds.to_matrix()
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(300, 0.07, 0.13, rng, stratify=ds.y)
+    graph = knn_graph(x, k=8, y=ds.y)
+
+    def run():
+        out = {}
+        for depth in (1, 2, 3):
+            hidden = [32] * (depth - 1)
+            model = GCN(graph, hidden, ds.num_classes, np.random.default_rng(0))
+            opt = nn.Adam(model.parameters(), lr=0.01, weight_decay=5e-4)
+            trainer = Trainer(model, opt, max_epochs=EPOCHS, patience=30)
+            trainer.fit(
+                lambda: nn.cross_entropy(model(), ds.y, mask=train),
+                lambda: accuracy(ds.y[val], model().data.argmax(1)[val]),
+            )
+            out[depth] = accuracy(ds.y[test], model().data.argmax(1)[test])
+        return out
+
+    results = once(benchmark, run)
+    for depth, acc in results.items():
+        ROWS.append((f"(c) high-order connectivity ({depth}-hop)",
+                     f"GCN depth {depth}", acc, "", ""))
+    assert max(results[2], results[3]) >= results[1] - 0.02
+
+
+def test_claim_d_supervision_signal(benchmark):
+    """The GNN-over-MLP gap grows as labels get scarce (semi-supervision)."""
+    ds = make_correlated_instances(n=400, cluster_strength=1.5, seed=2)
+    x = ds.to_matrix()
+
+    def run():
+        out = {}
+        for fraction in (0.05, 0.2, 0.6):
+            rng = np.random.default_rng(0)
+            train, val, test = train_val_test_masks(400, fraction, 0.1, rng,
+                                                    stratify=ds.y)
+            gnn = KNNGraphClassifier(k=8, max_epochs=EPOCHS, seed=0)
+            gnn.fit(x, ds.y, train_mask=train, val_mask=val)
+            gnn_acc = accuracy(ds.y[test], gnn.predict(test))
+            mlp = MLPClassifier(hidden_dims=(32,), epochs=EPOCHS, seed=0)
+            mlp.fit(x[train], ds.y[train])
+            mlp_acc = accuracy(ds.y[test], mlp.predict(x[test]))
+            out[fraction] = (gnn_acc, mlp_acc)
+        return out
+
+    results = once(benchmark, run)
+    for fraction, (gnn_acc, mlp_acc) in results.items():
+        ROWS.append((f"(d) supervision signal ({fraction:.0%} labels)",
+                     "kNN-GCN", gnn_acc, "MLP", mlp_acc))
+    gaps = {f: g - m for f, (g, m) in results.items()}
+    assert gaps[0.05] > gaps[0.6] - 0.02, "gap should grow as labels shrink"
+
+
+def test_claim_e_inductive_capability(benchmark):
+    """FATE generalizes to feature sets never seen during training."""
+    rng = np.random.default_rng(0)
+    n, d_train, d_extra = 400, 10, 3
+    x_full = rng.normal(size=(n, d_train + d_extra))
+    coef = rng.normal(size=d_train + d_extra)
+    y = (x_full @ coef > 0).astype(np.int64)
+    train = np.zeros(n, dtype=bool)
+    train[:250] = True
+    test = ~train
+
+    def run():
+        model = FATE(d_train, 2, np.random.default_rng(0))
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        for _ in range(EPOCHS):
+            loss = nn.cross_entropy(
+                model(x_full[train][:, :d_train]), y[train]
+            )
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        seen_only = accuracy(y[test], model(x_full[test][:, :d_train]).data.argmax(1))
+        index = np.arange(d_train + d_extra)
+        with_unseen = accuracy(
+            y[test], model(x_full[test], feature_index=index).data.argmax(1)
+        )
+        return seen_only, with_unseen
+
+    seen_only, with_unseen = once(benchmark, run)
+    ROWS.append(("(e) inductive capability", "FATE (trained cols)", seen_only,
+                 "FATE (+3 unseen cols)", with_unseen))
+    assert with_unseen > 0.6
+
+
+def test_zzz_render_claims(benchmark):
+    def render():
+        return record_table(
+            "claims_why_gnns",
+            "Sec. 2.5 (reproduced): the five 'why GNNs' claims, measured",
+            ["claim / condition", "GNN variant", "score", "baseline", "score "],
+            ROWS,
+            note=("Shapes: (a) GNN>MLP only when correlation is planted;"
+                  " (b) marginal models fail XOR; (c) depth >= 1-hop;"
+                  " (d) GNN advantage grows with label scarcity;"
+                  " (e) graceful feature extrapolation."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) >= 9

@@ -1,0 +1,67 @@
+"""Figure 1 — the general GNN4TDL pipeline, executed and timed per phase.
+
+The paper's Figure 1 diagrams the four phases (graph formulation, graph
+construction, representation learning, training plans).  This benchmark
+runs the complete pipeline for each formulation on the same mixed tabular
+dataset, timing each phase — the figure rendered as a measured table.
+"""
+
+from _harness import once, record_table
+
+from repro.datasets import make_fraud
+from repro.pipeline import FORMULATIONS, run_pipeline
+
+ROWS = []
+EPOCHS = 80
+
+
+def _run(formulation):
+    ds = make_fraud(n=400, seed=0)
+    result = run_pipeline(ds, formulation=formulation, max_epochs=EPOCHS, seed=0)
+    ROWS.append((
+        formulation,
+        result.network if formulation == "instance" else "(native)",
+        result.num_parameters,
+        result.phase_seconds["construction"],
+        result.phase_seconds["training"],
+        result.phase_seconds["inference"],
+        result.test_accuracy,
+        result.test_macro_f1,
+    ))
+    return result.test_accuracy
+
+
+def test_pipeline_instance(benchmark):
+    assert once(benchmark, lambda: _run("instance")) > 0.6
+
+
+def test_pipeline_feature(benchmark):
+    assert once(benchmark, lambda: _run("feature")) > 0.6
+
+
+def test_pipeline_multiplex(benchmark):
+    assert once(benchmark, lambda: _run("multiplex")) > 0.6
+
+
+def test_pipeline_hetero(benchmark):
+    assert once(benchmark, lambda: _run("hetero")) > 0.6
+
+
+def test_pipeline_hypergraph(benchmark):
+    assert once(benchmark, lambda: _run("hypergraph")) > 0.6
+
+
+def test_zzz_render_fig1(benchmark):
+    def render():
+        return record_table(
+            "fig1_pipeline",
+            "Figure 1 (reproduced): the 4-phase pipeline, per formulation",
+            ["formulation", "network", "params", "construct (s)", "train (s)",
+             "infer (s)", "test acc", "macro F1"],
+            ROWS,
+            note=("Phases: Graph Formulation+Construction -> Representation"
+                  " Learning -> Training Plans -> Prediction (Fig. 1)."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) == len(FORMULATIONS)

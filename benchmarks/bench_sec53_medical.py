@@ -1,0 +1,54 @@
+"""Sec. 5.3 — EHR risk prediction application, reproduced.
+
+Patient × diagnosis-code records under varying comorbidity coherence: the
+graph formulations (heterogeneous patient-code, hypergraph, patient-kNN)
+versus the flat multi-hot MLP.
+"""
+
+from _harness import once, record_table
+
+from repro.applications import run_ehr_benchmark
+from repro.datasets import make_ehr
+
+ROWS = []
+EPOCHS = 100
+METHODS = ("mlp", "hetero_gnn", "hypergraph_gnn", "knn_gcn")
+
+
+def _run(comorbidity, label, benchmark):
+    ds = make_ehr(n=400, num_codes=40, comorbidity=comorbidity, seed=0)
+    results = once(benchmark, lambda: run_ehr_benchmark(ds, epochs=EPOCHS, seed=0))
+    for method in METHODS:
+        stats = results[method]
+        ROWS.append((label, method, stats["accuracy"], stats["macro_f1"]))
+    return results
+
+
+def test_coherent_comorbidity(benchmark):
+    results = _run(0.85, "coherent codes (0.85)", benchmark)
+    assert max(s["accuracy"] for s in results.values()) > 0.85
+
+
+def test_noisy_comorbidity(benchmark):
+    results = _run(0.55, "noisy codes (0.55)", benchmark)
+    graph_best = max(
+        results[m]["accuracy"] for m in ("hetero_gnn", "hypergraph_gnn", "knn_gcn")
+    )
+    # Structure should at least match the flat baseline under code noise.
+    assert graph_best >= results["mlp"]["accuracy"] - 0.05
+
+
+def test_zzz_render_sec53(benchmark):
+    def render():
+        return record_table(
+            "sec53_medical",
+            "Sec. 5.3 (reproduced): EHR risk prediction, code-coherence sweep",
+            ["code coherence", "method", "accuracy", "macro F1"],
+            ROWS,
+            note=("Expected shape: all formulations solve the coherent case;"
+                  " graph formulations hold up at least as well as the flat"
+                  " MLP as code noise rises."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) == 8

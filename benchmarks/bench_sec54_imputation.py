@@ -1,0 +1,82 @@
+"""Sec. 5.4 — missing-data imputation application, reproduced.
+
+GRAPE (bipartite edge prediction) vs classical imputers across the three
+missingness mechanisms, plus the instance-init ablation (the survey-faithful
+constant init vs the IGRM-style feature init).
+"""
+
+from _harness import once, record_table
+
+from repro.applications import run_imputation_benchmark
+from repro.datasets import make_correlated_instances
+
+ROWS = []
+EPOCHS = 250
+METHODS = ("mean", "median", "knn", "iterative", "grape")
+
+
+def _dataset():
+    return make_correlated_instances(
+        n=220, num_features=12, noise_features=2, cluster_strength=2.5, seed=0
+    )
+
+
+def _run(mechanism, benchmark, **kwargs):
+    ds = _dataset()
+    results = once(
+        benchmark,
+        lambda: run_imputation_benchmark(
+            ds, rate=0.3, mechanism=mechanism, epochs=EPOCHS, seed=0, **kwargs
+        ),
+    )
+    for method, rmse in results.items():
+        ROWS.append((mechanism, method, rmse))
+    return results
+
+
+def test_mcar(benchmark):
+    results = _run("mcar", benchmark)
+    assert results["grape"] < results["mean"]
+
+
+def test_mar(benchmark):
+    results = _run("mar", benchmark)
+    assert results["grape"] < results["mean"]
+
+
+def test_mnar(benchmark):
+    results = _run("mnar", benchmark)
+    assert results["grape"] < results["mean"]
+    # MNAR is the hardest mechanism for everyone.
+    mcar_grape = next(r[2] for r in ROWS if r[0] == "mcar" and r[1] == "grape")
+    assert results["grape"] >= mcar_grape - 0.05
+
+
+def test_grape_init_ablation(benchmark):
+    ds = _dataset()
+    results = once(
+        benchmark,
+        lambda: run_imputation_benchmark(
+            ds, rate=0.3, mechanism="mcar", epochs=EPOCHS, seed=0,
+            include_grape_ones=True,
+        ),
+    )
+    ROWS.append(("mcar (ablation)", "grape feature-init", results["grape"]))
+    ROWS.append(("mcar (ablation)", "grape ones-init", results["grape_ones_init"]))
+    assert results["grape"] <= results["grape_ones_init"] + 0.02
+
+
+def test_zzz_render_sec54(benchmark):
+    def render():
+        return record_table(
+            "sec54_imputation",
+            "Sec. 5.4 (reproduced): imputation RMSE by missingness mechanism",
+            ["mechanism", "method", "RMSE (z-scored)"],
+            ROWS,
+            note=("Expected shape: GRAPE beats mean/median everywhere and is"
+                  " competitive with kNN/iterative; all methods degrade under"
+                  " MNAR; feature-init GRAPE beats the constant-init ablation."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) >= 17

@@ -1,0 +1,227 @@
+"""Sec. 6 — open problems & future directions, made measurable.
+
+The survey's Sec. 6 names concrete technical directions.  Four of them are
+implementable and testable today; this benchmark measures each:
+
+1. *Tree-based abilities* — GBDT vs GNN on non-smooth boundaries and with
+   irrelevant features (the Grinsztajn et al. findings the survey cites);
+2. *Scaling* — neighbor-sampled mini-batch training vs full-batch;
+3. *Graph-based SSL* — the survey's proposed structural SSL tasks at low
+   label budget;
+4. *Robustness* — accuracy under structural edge noise, comparing fixed
+   rule-based graphs against learned structure (which can route around the
+   noise).
+"""
+
+import time
+
+import numpy as np
+from _harness import once, record_table
+
+from repro import nn, robustness
+from repro.baselines import GradientBoostingClassifier, MLPClassifier
+from repro.construction.rules import knn_graph
+from repro.datasets import make_correlated_instances, train_val_test_masks
+from repro.gnn.networks import GCN
+from repro.gnn.sampling import SampledSAGE, train_sampled
+from repro.metrics import accuracy
+from repro.models import SLAPS, KNNGraphClassifier
+from repro.tensor import Tensor
+from repro.training.ssl import GraphCompletionTask, NeighborhoodPredictionTask
+from repro.training.trainer import Trainer
+
+EPOCHS = 100
+ROWS = []
+
+
+def _non_smooth_dataset(n=1500, irrelevant=0, seed=0, cell=0.67):
+    """Checkerboard labels: non-smooth decision boundary + optional noise cols.
+
+    ``cell`` controls boundary sharpness — smaller cells mean more label
+    discontinuities per unit area, the regime where trees excel."""
+    rng = np.random.default_rng(seed)
+    x_core = rng.uniform(-2, 2, size=(n, 2))
+    y = ((np.floor(x_core[:, 0] / cell) + np.floor(x_core[:, 1] / cell)) % 2
+         ).astype(np.int64)
+    noise = rng.normal(size=(n, irrelevant))
+    return np.concatenate([x_core, noise], axis=1), y
+
+
+def test_direction_tree_abilities(benchmark):
+    """GBDT handles non-smooth boundaries and irrelevant features; GNN/MLP suffer."""
+
+    def run():
+        out = {}
+        for irrelevant in (0, 16):
+            x, y = _non_smooth_dataset(irrelevant=irrelevant)
+            rng = np.random.default_rng(0)
+            train, val, test = train_val_test_masks(len(y), 0.6, 0.2, rng, stratify=y)
+            gbdt = GradientBoostingClassifier(num_rounds=100, max_depth=6, lr=0.3, seed=0)
+            gbdt.fit(x[train], y[train])
+            gbdt_acc = accuracy(y[test], gbdt.predict(x[test]))
+            mlp = MLPClassifier(hidden_dims=(64, 32), epochs=2 * EPOCHS, seed=0)
+            mlp.fit(x[train], y[train])
+            mlp_acc = accuracy(y[test], mlp.predict(x[test]))
+            gnn = KNNGraphClassifier(k=8, max_epochs=2 * EPOCHS, seed=0)
+            gnn.fit(x, y, train_mask=train, val_mask=val)
+            gnn_acc = accuracy(y[test], gnn.predict(test))
+            out[irrelevant] = (gbdt_acc, mlp_acc, gnn_acc)
+        return out
+
+    results = once(benchmark, run)
+    for irrelevant, (gbdt_acc, mlp_acc, gnn_acc) in results.items():
+        label = "checkerboard" if irrelevant == 0 else f"checkerboard + {irrelevant} noise cols"
+        ROWS.append(("tree abilities", label,
+                     f"GBDT {gbdt_acc:.3f} | MLP {mlp_acc:.3f} | kNN-GCN {gnn_acc:.3f}"))
+    # The survey's cited findings: (1) trees dominate non-smooth targets —
+    # and the kNN-graph GNN is *worst* there because message passing smooths
+    # across the checkerboard boundaries; (2) with irrelevant columns, the
+    # tree degrades less than the MLP.
+    gbdt_clean, mlp_clean, gnn_clean = results[0]
+    gbdt_noisy, mlp_noisy, _ = results[16]
+    assert gbdt_clean > mlp_clean > gnn_clean
+    assert gbdt_noisy >= mlp_noisy
+
+
+def test_direction_scaling_neighbor_sampling(benchmark):
+    """Mini-batch sampled training approaches full-batch accuracy."""
+    ds = make_correlated_instances(n=800, cluster_strength=1.5, seed=0)
+    x = ds.to_matrix()
+    graph = knn_graph(x, k=8, y=ds.y)
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(800, 0.5, 0.2, rng, stratify=ds.y)
+
+    def run():
+        start = time.perf_counter()
+        full = GCN(graph, (32,), ds.num_classes, np.random.default_rng(0))
+        opt = nn.Adam(full.parameters(), lr=0.01)
+        for _ in range(30):
+            loss = nn.cross_entropy(full(), ds.y, mask=train)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        full.eval()
+        full_time = time.perf_counter() - start
+        full_acc = accuracy(ds.y[test], full().data.argmax(1)[test])
+
+        start = time.perf_counter()
+        sampled = SampledSAGE(x.shape[1], 32, ds.num_classes, np.random.default_rng(0))
+        train_sampled(graph, ds.y, train, sampled, fanouts=(5, 5),
+                      batch_size=128, epochs=6)
+        sampled_time = time.perf_counter() - start
+        logits = sampled.forward_full(Tensor(x), graph.mean_adjacency()).data
+        sampled_acc = accuracy(ds.y[test], logits.argmax(1)[test])
+        return full_acc, full_time, sampled_acc, sampled_time
+
+    full_acc, full_time, sampled_acc, sampled_time = once(benchmark, run)
+    ROWS.append(("scaling", "full-batch GCN (30 epochs)",
+                 f"acc {full_acc:.3f} in {full_time:.1f}s"))
+    ROWS.append(("scaling", "sampled SAGE (6 epochs, fanout 5x5)",
+                 f"acc {sampled_acc:.3f} in {sampled_time:.1f}s"))
+    assert sampled_acc > full_acc - 0.1  # matches within tolerance
+
+
+def test_direction_graph_ssl(benchmark):
+    """The survey's proposed structural SSL tasks at a 6% label budget."""
+    ds = make_correlated_instances(n=300, cluster_strength=1.2, flip_y=0.05, seed=3)
+    x = ds.to_matrix()
+    graph = knn_graph(x, k=8, y=ds.y)
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(300, 0.06, 0.14, rng, stratify=ds.y)
+
+    def train_with(task_name):
+        model = GCN(graph, (32,), ds.num_classes, np.random.default_rng(0))
+        task = None
+        if task_name == "graph completion":
+            task = GraphCompletionTask(32, graph.edge_index, np.random.default_rng(1))
+        elif task_name == "neighborhood prediction":
+            task = NeighborhoodPredictionTask(32, graph.edge_index,
+                                              np.random.default_rng(1))
+        params = model.parameters() + (task.parameters() if task else [])
+        opt = nn.Adam(params, lr=0.01, weight_decay=5e-4)
+        trainer = Trainer(model, opt, max_epochs=EPOCHS, patience=30)
+
+        def loss_fn():
+            from repro.tensor import ops
+
+            loss = nn.cross_entropy(model(), ds.y, mask=train)
+            if task is not None:
+                loss = ops.add(loss, ops.mul(Tensor(0.3), task.loss(model.embed())))
+            return loss
+
+        trainer.fit(loss_fn,
+                    lambda: accuracy(ds.y[val], model().data.argmax(1)[val]))
+        return accuracy(ds.y[test], model().data.argmax(1)[test])
+
+    def run():
+        return {name: train_with(name)
+                for name in ("none", "graph completion", "neighborhood prediction")}
+
+    results = once(benchmark, run)
+    for name, acc in results.items():
+        ROWS.append(("graph SSL (6% labels)", name, f"acc {acc:.3f}"))
+    best_ssl = max(results["graph completion"], results["neighborhood prediction"])
+    assert best_ssl >= results["none"] - 0.03
+
+
+def test_direction_robustness_structure_noise(benchmark):
+    """Learned structure (SLAPS) routes around edge noise that a fixed rule
+    graph propagates."""
+    ds = make_correlated_instances(n=250, cluster_strength=1.5, seed=4)
+    x = ds.to_matrix()
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(250, 0.3, 0.2, rng, stratify=ds.y)
+
+    def run():
+        out = {}
+        for noise in (0.0, 0.5):
+            graph = knn_graph(x, k=8, y=ds.y)
+            noisy = robustness.perturb_edges(graph, noise, np.random.default_rng(1))
+            noisy.x = x
+            fixed = GCN(noisy, (32,), ds.num_classes, np.random.default_rng(0))
+            opt = nn.Adam(fixed.parameters(), lr=0.01, weight_decay=5e-4)
+            trainer = Trainer(fixed, opt, max_epochs=EPOCHS, patience=25)
+            trainer.fit(
+                lambda: nn.cross_entropy(fixed(), ds.y, mask=train),
+                lambda: accuracy(ds.y[val], fixed().data.argmax(1)[val]),
+            )
+            fixed_acc = accuracy(ds.y[test], fixed().data.argmax(1)[test])
+
+            learned = SLAPS(x, ds.num_classes, np.random.default_rng(0), k=8)
+            opt = nn.Adam(learned.parameters(), lr=0.01)
+            trainer = Trainer(learned, opt, max_epochs=EPOCHS, patience=25)
+            trainer.fit(
+                lambda: learned.loss(ds.y, mask=train),
+                lambda: accuracy(ds.y[val], learned().data.argmax(1)[val]),
+            )
+            learned_acc = accuracy(ds.y[test], learned().data.argmax(1)[test])
+            out[noise] = (fixed_acc, learned_acc)
+        return out
+
+    results = once(benchmark, run)
+    for noise, (fixed_acc, learned_acc) in results.items():
+        ROWS.append(("robustness", f"{noise:.0%} edge noise",
+                     f"fixed kNN-GCN {fixed_acc:.3f} | learned SLAPS {learned_acc:.3f}"))
+    # The fixed graph degrades with noise; the learned graph (which ignores
+    # the corrupted edges entirely) does not.
+    assert results[0.5][0] < results[0.0][0] + 0.02
+    assert results[0.5][1] >= results[0.5][0] - 0.02
+
+
+def test_zzz_render_sec6(benchmark):
+    def render():
+        return record_table(
+            "sec6_directions",
+            "Sec. 6 (reproduced): future directions, measured today",
+            ["direction", "condition", "measured"],
+            ROWS,
+            note=("1) trees dominate non-smooth targets (and message passing"
+                  " actively hurts there), degrading less than MLPs under"
+                  " irrelevant columns; 2) sampled mini-batches match"
+                  " full-batch accuracy; 3) structural SSL is safe (not"
+                  " dominant) at low labels; 4) learned structure resists"
+                  " edge noise that degrades fixed rule graphs."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) >= 9

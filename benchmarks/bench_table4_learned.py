@@ -1,0 +1,132 @@
+"""Table 4 — learning-based graph construction: metric vs neural vs direct.
+
+The paper's Table 4 compares structure learners by strategy, initialization
+and training.  This benchmark trains all three strategies on the same
+*structure-corrupted* problem (clusters exist but no graph is given) and a
+rule-based kNN control, measuring what each learner recovers.
+"""
+
+import numpy as np
+from _harness import once, record_table
+
+from repro import nn
+from repro.construction.learned import DirectGraphLearner
+from repro.construction.rules import knn_edges
+from repro.datasets import make_correlated_instances, train_val_test_masks
+from repro.gnn.dense import DenseGNN
+from repro.metrics import accuracy
+from repro.models import IDGL, SLAPS, KNNGraphClassifier
+from repro.tensor import Tensor
+from repro.training import Trainer, train_bilevel
+
+EPOCHS = 100
+ROWS = []
+
+
+def _setup():
+    ds = make_correlated_instances(n=250, cluster_strength=1.5, seed=0)
+    rng = np.random.default_rng(0)
+    train, val, test = train_val_test_masks(250, 0.3, 0.2, rng, stratify=ds.y)
+    return ds, ds.to_matrix(), train, val, test
+
+
+def test_metric_based_idgl(benchmark):
+    ds, x, train, val, test = _setup()
+
+    def run():
+        model = IDGL(x, ds.num_classes, np.random.default_rng(0), k=15)
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=0.01),
+                          max_epochs=EPOCHS, patience=25)
+        trainer.fit(lambda: model.loss(ds.y, mask=train),
+                    lambda: accuracy(ds.y[val], model().data.argmax(1)[val]))
+        return accuracy(ds.y[test], model().data.argmax(1)[test])
+
+    acc = once(benchmark, run)
+    ROWS.append(("IDGL", "metric", "—", "weighted cosine", "end-to-end", acc))
+    assert acc > 0.6
+
+
+def test_neural_slaps(benchmark):
+    ds, x, train, val, test = _setup()
+
+    def run():
+        model = SLAPS(x, ds.num_classes, np.random.default_rng(0), k=15)
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=0.01),
+                          max_epochs=EPOCHS, patience=25)
+        trainer.fit(lambda: model.loss(ds.y, mask=train),
+                    lambda: accuracy(ds.y[val], model().data.argmax(1)[val]))
+        return accuracy(ds.y[test], model().data.argmax(1)[test])
+
+    acc = once(benchmark, run)
+    ROWS.append(("SLAPS", "neural", "kNN", "MLP generator + DAE", "end-to-end", acc))
+    assert acc > 0.6
+
+
+def _direct_run(ds, x, train, val, test, init_from_knn):
+    n = x.shape[0]
+    if init_from_knn:
+        prior = np.zeros((n, n))
+        edges = knn_edges(x, k=15)
+        prior[edges[1], edges[0]] = 1.0
+        prior = np.maximum(prior, prior.T)
+        learner = DirectGraphLearner(n, np.random.default_rng(0),
+                                     init_adjacency=prior, init_scale=4.0)
+    else:
+        learner = DirectGraphLearner(n, np.random.default_rng(0))
+    gnn = DenseGNN(x.shape[1], (32,), ds.num_classes, np.random.default_rng(1))
+    features = Tensor(x)
+
+    def loss_on(mask):
+        return nn.cross_entropy(gnn(features, learner()), ds.y, mask=mask)
+
+    train_bilevel(learner.parameters(), gnn.parameters(),
+                  loss_fn=lambda: loss_on(train),
+                  val_loss_fn=lambda: loss_on(val),
+                  outer_steps=25, inner_steps=4)
+    gnn.eval()
+    pred = gnn(features, learner()).data.argmax(1)
+    return accuracy(ds.y[test], pred[test])
+
+
+def test_direct_lds_knn_init(benchmark):
+    ds, x, train, val, test = _setup()
+    acc = once(benchmark, lambda: _direct_run(ds, x, train, val, test, True))
+    ROWS.append(("LDS-lite", "direct", "kNN", "free variables", "bi-level", acc))
+    assert acc > 0.6
+
+
+def test_direct_lds_random_init(benchmark):
+    ds, x, train, val, test = _setup()
+    acc = once(benchmark, lambda: _direct_run(ds, x, train, val, test, False))
+    ROWS.append(("LDS-lite (rand init)", "direct", "random", "free variables",
+                 "bi-level", acc))
+
+
+def test_rule_based_control(benchmark):
+    ds, x, train, val, test = _setup()
+
+    def run():
+        clf = KNNGraphClassifier(k=15, max_epochs=EPOCHS, seed=0)
+        clf.fit(x, ds.y, train_mask=train, val_mask=val)
+        return accuracy(ds.y[test], clf.predict(test))
+
+    acc = once(benchmark, run)
+    ROWS.append(("kNN+GCN (control)", "rule", "kNN", "—", "end-to-end", acc))
+
+
+def test_zzz_render_table4(benchmark):
+    def render():
+        return record_table(
+            "table4_learned",
+            "Table 4 (reproduced): learning-based construction, measured",
+            ["method", "strategy", "init", "modeling", "training", "test acc"],
+            ROWS,
+            note=("Expected shape: all three learned strategies recover the"
+                  " latent structure (≈ rule-based control); random-init"
+                  " direct learning trails kNN-init."),
+        )
+
+    once(benchmark, render)
+    assert len(ROWS) >= 5
+    by_name = {r[0]: r[-1] for r in ROWS}
+    assert by_name["LDS-lite"] >= by_name["LDS-lite (rand init)"] - 0.05

@@ -1,0 +1,41 @@
+"""Anomaly detection on tabular data (survey Sec. 5.1).
+
+Scenario: sensor readings cluster into a few operating modes; faults are
+either *local* (near a mode but off-manifold — invisible to per-feature
+z-scores) or *global* (far from everything).  We rank rows by anomaly score
+with four detectors and compare ranking quality.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from repro.applications import run_anomaly_detection
+from repro.datasets import make_anomaly
+
+
+def main() -> None:
+    dataset = make_anomaly(
+        n_inliers=400,
+        n_outliers=40,
+        num_features=8,
+        num_clusters=3,
+        local_fraction=0.6,  # 60% of faults hide inside the data's range
+        seed=0,
+    )
+    print(f"rows={dataset.num_instances}, anomaly rate={dataset.y.mean():.2%}\n")
+
+    results = run_anomaly_detection(dataset, k=10, epochs=120, seed=0)
+
+    print(f"{'method':<14}{'ROC-AUC':>9}{'AP':>9}{'P@k':>9}")
+    for method, stats in sorted(results.items(), key=lambda kv: -kv[1]["auc"]):
+        print(f"{method:<14}{stats['auc']:>9.3f}{stats['ap']:>9.3f}"
+              f"{stats['p_at_k']:>9.3f}")
+
+    print(
+        "\nLocal methods (LUNAR, kNN-distance, GAE) exploit neighborhood "
+        "structure\nand catch the local faults that the marginal z-score "
+        "baseline misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

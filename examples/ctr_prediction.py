@@ -1,0 +1,37 @@
+"""Click-through-rate prediction with a feature-interaction GNN (Sec. 5.2).
+
+Scenario: ad impressions with (user, item, context) categorical fields where
+the click signal lives in the user x item *interaction* — exactly the
+structure feature-graph GNNs model explicitly.  Fi-GNN builds a
+fully-connected graph over the embedded fields of each impression and passes
+messages between them.
+
+Run:  python examples/ctr_prediction.py
+"""
+
+from repro.applications import run_ctr_benchmark
+from repro.datasets import make_ctr
+
+
+def main() -> None:
+    dataset = make_ctr(n=3000, num_users=30, num_items=20, seed=0)
+    print(f"impressions={dataset.num_instances}, "
+          f"fields={dataset.categorical_names}, "
+          f"click rate={dataset.y.mean():.2%}\n")
+
+    results = run_ctr_benchmark(dataset, epochs=150, seed=0)
+
+    print(f"{'method':<12}{'ROC-AUC':>9}{'log-loss':>10}")
+    for method in ("logistic", "mlp", "fignn"):
+        stats = results[method]
+        print(f"{method:<12}{stats['auc']:>9.3f}{stats['logloss']:>10.3f}")
+
+    print(
+        "\nLogistic regression sees only marginal field effects (near-chance"
+        "\nhere); the MLP learns interactions implicitly; Fi-GNN models them"
+        "\nstructurally through the field graph (survey Sec. 2.5b & 5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

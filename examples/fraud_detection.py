@@ -1,0 +1,39 @@
+"""Fraud detection on multi-relational graphs (survey Sec. 5.1 & 5.5).
+
+Scenario: transactions with device and merchant fields; fraud rings share
+infrastructure, so "same device" and "same merchant" relations connect
+fraudsters even when their flat features look benign.  TabGNN builds one
+graph layer per relation (multiplex formulation) and fuses them with
+attention.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro.applications import run_fraud_benchmark
+from repro.datasets import make_fraud
+
+
+def main() -> None:
+    dataset = make_fraud(
+        n=600, fraud_rate=0.08, num_rings=6, camouflage=0.15, seed=0
+    )
+    print(f"transactions={dataset.num_instances}, "
+          f"fraud rate={dataset.y.mean():.2%}, "
+          f"relations={dataset.categorical_names}\n")
+
+    results = run_fraud_benchmark(dataset, epochs=150, seed=0)
+
+    print(f"{'method':<18}{'ROC-AUC':>9}{'AP':>9}{'F1':>9}")
+    for method, stats in sorted(results.items(), key=lambda kv: -kv[1]["auc"]):
+        print(f"{method:<18}{stats['auc']:>9.3f}{stats['ap']:>9.3f}"
+              f"{stats['f1']:>9.3f}")
+
+    print(
+        "\nThe multiplex relations expose the rings: TabGNN beats both the"
+        "\nflat MLP and the single flattened graph, and attention fusion"
+        "\nweights the informative relation per instance (survey Table 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Medical risk prediction from EHR-style records (survey Sec. 5.3).
+
+Scenario: patients carry multi-hot diagnosis-code records; the disease
+label depends on which code *group* dominates.  Four formulations compete:
+the flat multi-hot MLP, the heterogeneous patient-code graph (GCT/HSGNN),
+the rows-as-hyperedges hypergraph (HCL), and the patient-similarity kNN
+graph.
+
+Run:  python examples/medical_risk.py
+"""
+
+from repro.applications import run_ehr_benchmark
+from repro.datasets import make_ehr
+
+
+def main() -> None:
+    dataset = make_ehr(
+        n=400,
+        num_codes=40,
+        codes_per_patient=(3, 8),
+        num_diseases=3,
+        comorbidity=0.65,   # moderately noisy code assignments
+        seed=0,
+    )
+    print(f"patients={dataset.num_instances}, codes={dataset.num_numerical}, "
+          f"diseases={dataset.num_classes}\n")
+
+    results = run_ehr_benchmark(dataset, epochs=150, seed=0)
+
+    print(f"{'method':<16}{'accuracy':>10}{'macro F1':>10}")
+    for method, stats in sorted(results.items(), key=lambda kv: -kv[1]["accuracy"]):
+        print(f"{method:<16}{stats['accuracy']:>10.3f}{stats['macro_f1']:>10.3f}")
+
+    print(
+        "\nThe hypergraph formulation treats each patient as a hyperedge over"
+        "\ntheir diagnosis codes, so code co-occurrence propagates directly —"
+        "\nthe structure GCT/HSGNN/HCL exploit in EHRs (survey Sec. 5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Missing-data imputation with a bipartite GNN (survey Sec. 5.4).
+
+Scenario: a clinical-style table loses 30% of its cells under three
+mechanisms (MCAR / MAR / MNAR).  GRAPE treats the table as an
+instance-feature bipartite graph and imputes by *edge-value prediction*;
+we compare against mean, median, kNN and iterative-ridge imputers.
+
+Run:  python examples/missing_data_imputation.py
+"""
+
+from repro.applications import run_imputation_benchmark
+from repro.datasets import make_correlated_instances
+
+
+def main() -> None:
+    dataset = make_correlated_instances(
+        n=250, num_features=12, noise_features=2, cluster_strength=2.5, seed=0
+    )
+    print(f"complete table: {dataset.num_instances} rows x "
+          f"{dataset.num_numerical} numerical columns\n")
+
+    methods = ["mean", "median", "knn", "iterative", "grape"]
+    print(f"{'mechanism':<10}" + "".join(f"{m:>11}" for m in methods))
+    for mechanism in ("mcar", "mar", "mnar"):
+        results = run_imputation_benchmark(
+            dataset, rate=0.3, mechanism=mechanism, epochs=250, seed=0
+        )
+        row = "".join(f"{results[m]:>11.3f}" for m in methods)
+        print(f"{mechanism:<10}{row}")
+
+    print(
+        "\nRMSE at the injected cells (z-scored space; lower is better)."
+        "\nThe bipartite formulation needs no imputation preprocessing —"
+        "\nmissing cells are simply absent edges (survey Sec. 4.1.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: the GNN4TDL pipeline in ~40 lines.
+
+Runs the survey's four phases (Figure 1) on an instance-correlated tabular
+dataset and compares the result against a structure-blind MLP — the
+survey's core claim (Sec. 2.5a) in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import MLPClassifier
+from repro.datasets import make_correlated_instances, train_val_test_masks
+from repro.metrics import accuracy
+from repro.pipeline import run_pipeline
+
+
+def main() -> None:
+    # A tabular dataset whose rows are correlated: instances in the same
+    # latent cluster share a label and a feature prototype.  Only 10% of
+    # rows are labelled — the semi-supervised regime the survey highlights
+    # (Sec. 2.5d): the GNN propagates supervision through the graph, while
+    # the MLP can learn from the labelled rows alone.
+    dataset = make_correlated_instances(
+        n=500, num_features=16, num_classes=3, cluster_strength=1.5, seed=0
+    )
+    print("dataset:", dataset.summary())
+
+    # --- The GNN4TDL pipeline: formulate -> construct -> learn -> train ---
+    result = run_pipeline(
+        dataset,
+        formulation="instance",  # rows as nodes (Sec. 4.1.1)
+        network="gcn",           # representation learning (Sec. 4.3)
+        k=10,                    # kNN construction rule (Sec. 4.2.2)
+        train_fraction=0.1,      # 10% labels: semi-supervised (Sec. 2.5d)
+        val_fraction=0.1,
+        seed=0,
+    )
+    print(f"\nGNN pipeline:      accuracy={result.test_accuracy:.3f} "
+          f"macro_f1={result.test_macro_f1:.3f}")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  {phase:<12} {seconds:.2f}s")
+
+    # --- The structure-blind baseline on the identical label budget ---
+    x = dataset.to_matrix()
+    rng = np.random.default_rng(0)
+    train, _, test = train_val_test_masks(
+        dataset.num_instances, 0.1, 0.1, rng, stratify=dataset.y
+    )
+    mlp = MLPClassifier(hidden_dims=(64,), epochs=200, seed=0)
+    mlp.fit(x[train], dataset.y[train])
+    mlp_acc = accuracy(dataset.y[test], mlp.predict(x[test]))
+    print(f"\nMLP baseline:      accuracy={mlp_acc:.3f}")
+    print("\nWith scarce labels, the GNN's message passing over the instance"
+          "\ngraph recovers what the structure-blind MLP cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The modern PEP 660 editable-install path requires the ``wheel`` package,
+which is not available in the offline evaluation environment.  With this
+shim (and no ``[build-system]`` table in pyproject.toml), ``pip install -e .``
+falls back to ``setup.py develop``, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

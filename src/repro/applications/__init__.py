@@ -1,0 +1,26 @@
+"""Application pipelines from survey Sec. 5.
+
+Each module wires generators, construction, models and baselines into one
+callable returning a method → metrics dict:
+
+* :mod:`repro.applications.anomaly` — anomaly detection (Sec. 5.1);
+* :mod:`repro.applications.ctr` — click-through-rate prediction (Sec. 5.2);
+* :mod:`repro.applications.medical` — EHR risk prediction (Sec. 5.3);
+* :mod:`repro.applications.imputation` — missing-data imputation (Sec. 5.4);
+* :mod:`repro.applications.fraud` — fraud detection on multi-relational
+  graphs (Sec. 5.1/5.5).
+"""
+
+from repro.applications.anomaly import run_anomaly_detection
+from repro.applications.ctr import run_ctr_benchmark
+from repro.applications.medical import run_ehr_benchmark
+from repro.applications.imputation import run_imputation_benchmark
+from repro.applications.fraud import run_fraud_benchmark
+
+__all__ = [
+    "run_anomaly_detection",
+    "run_ctr_benchmark",
+    "run_ehr_benchmark",
+    "run_imputation_benchmark",
+    "run_fraud_benchmark",
+]

@@ -1,0 +1,108 @@
+"""Missing-data imputation (survey Sec. 5.4).
+
+GRAPE-style bipartite edge-value prediction versus classical imputers
+(mean / median / kNN / iterative ridge) under MCAR, MAR and MNAR
+missingness.  The harness starts from a *complete* table, injects
+missingness with a chosen mechanism, imputes with each method, and reports
+RMSE against the ground truth at exactly the injected cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import IterativeImputer, KNNImputer, MeanImputer, MedianImputer
+from repro.datasets.missing import inject_missing
+from repro.datasets.preprocessing import StandardScaler
+from repro.datasets.tabular import TabularDataset
+from repro.graph.bipartite import BipartiteGraph
+from repro.metrics import rmse
+from repro.models import GRAPE
+from repro.training.trainer import Trainer
+
+
+def train_grape_imputer(
+    graph: BipartiteGraph,
+    epochs: int = 300,
+    seed: int = 0,
+    hidden_dim: int = 64,
+    drop_rate: float = 0.3,
+    instance_init: str = "features",
+) -> GRAPE:
+    """Train GRAPE on observed edges with edge-dropout reconstruction.
+
+    Early stopping validates on a fixed held-out edge subset because the
+    training loss itself is stochastic (fresh dropout mask per epoch).
+    """
+    rng = np.random.default_rng(seed)
+    model = GRAPE(graph, hidden_dim, out_dim=2, rng=rng, instance_init=instance_init)
+    optimizer = nn.Adam(model.parameters(), lr=0.01)
+    val_graph, val_edges = graph.split_edges(0.1, np.random.default_rng(seed + 1))
+    loss_rng = np.random.default_rng(seed + 2)
+    trainer = Trainer(model, optimizer, max_epochs=epochs, patience=40)
+
+    def loss_fn():
+        return model.imputation_loss(drop_rate=drop_rate, rng=loss_rng)
+
+    def val_fn() -> float:
+        pred = model.predict_edges(
+            val_edges["instance"], val_edges["feature"], graph=val_graph
+        ).data
+        return -float(np.sqrt(np.mean((pred - val_edges["value"]) ** 2)))
+
+    trainer.fit(loss_fn, val_fn)
+    return model
+
+
+def run_imputation_benchmark(
+    dataset: TabularDataset,
+    rate: float = 0.3,
+    mechanism: str = "mcar",
+    epochs: int = 300,
+    seed: int = 0,
+    include_grape_ones: bool = False,
+) -> Dict[str, float]:
+    """RMSE at injected-missing cells for every imputer (z-scored space).
+
+    ``dataset`` must be complete (no NaN) so injected cells have ground
+    truth.  Set ``include_grape_ones=True`` to also run the survey-faithful
+    constant-instance-init GRAPE (the ablation arm).
+    """
+    if dataset.num_numerical == 0:
+        raise ValueError("imputation benchmark needs numerical columns")
+    if np.isnan(dataset.numerical).any():
+        raise ValueError("dataset must be complete before injecting missingness")
+    rng = np.random.default_rng(seed)
+    missing = inject_missing(dataset, rate, mechanism, rng)
+    scaler = StandardScaler()
+    table = scaler.fit_transform(missing.numerical)
+    truth = scaler.transform(dataset.numerical)
+    mask = np.isnan(table)
+    if not mask.any():
+        raise ValueError("no cells were injected as missing; increase rate")
+    rows, cols = np.nonzero(mask)
+
+    results: Dict[str, float] = {}
+    for name, imputer in (
+        ("mean", MeanImputer()),
+        ("median", MedianImputer()),
+        ("knn", KNNImputer(k=5)),
+        ("iterative", IterativeImputer(max_iter=8)),
+    ):
+        filled = imputer.fit_transform(table)
+        results[name] = rmse(truth[mask], filled[mask])
+
+    graph = BipartiteGraph.from_table(table)
+    grape = train_grape_imputer(graph, epochs=epochs, seed=seed)
+    results["grape"] = rmse(truth[mask], grape.predict_edges(rows, cols).data)
+    if include_grape_ones:
+        grape_ones = train_grape_imputer(
+            graph, epochs=epochs, seed=seed, instance_init="ones"
+        )
+        results["grape_ones_init"] = rmse(
+            truth[mask], grape_ones.predict_edges(rows, cols).data
+        )
+    return results

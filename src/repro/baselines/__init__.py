@@ -1,0 +1,36 @@
+"""Structure-blind baselines the survey's comparisons require.
+
+Conventional TDL models (Sec. 1 & 6): logistic regression, MLP, k-nearest
+neighbors, CART decision trees, random forests and gradient boosting — the
+"tree-based models [that] still outperform deep learning on typical tabular
+data" discussion — plus classical imputers (mean/median/kNN/iterative) for
+the missing-data application (Sec. 5.4).
+"""
+
+from repro.baselines.linear import LogisticRegressionClassifier, RidgeRegression
+from repro.baselines.mlp import MLPClassifier, MLPRegressor
+from repro.baselines.neighbors import KNNClassifier
+from repro.baselines.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.baselines.ensemble import GradientBoostingClassifier, RandomForestClassifier
+from repro.baselines.impute import (
+    IterativeImputer,
+    KNNImputer,
+    MeanImputer,
+    MedianImputer,
+)
+
+__all__ = [
+    "LogisticRegressionClassifier",
+    "RidgeRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "KNNClassifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "RandomForestClassifier",
+    "IterativeImputer",
+    "KNNImputer",
+    "MeanImputer",
+    "MedianImputer",
+]

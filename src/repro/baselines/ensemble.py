@@ -1,0 +1,154 @@
+"""Tree ensembles: random forest and gradient boosting.
+
+Gradient boosting fits regression trees to softmax residuals (one tree per
+class per round), the standard multiclass GBDT formulation; random forest
+bootstrap-aggregates deep CART trees with feature subsampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with sqrt-feature subsampling and soft voting."""
+
+    def __init__(
+        self,
+        num_trees: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_trees < 1:
+            raise ValueError("num_trees must be >= 1")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.num_classes_: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.num_classes_ = int(y.max()) + 1
+        rng = np.random.default_rng(self.seed)
+        max_features = self.max_features or max(1, int(np.sqrt(x.shape[1])))
+        self.trees_ = []
+        for t in range(self.num_trees):
+            boot = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + t,
+            )
+            xb, yb = x[boot], y[boot]
+            # Guarantee every class appears so per-tree proba shapes agree.
+            tree.num_classes_ = self.num_classes_
+            tree.root_ = tree._grow(xb, yb, depth=0)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("fit must be called before predict")
+        probs = np.zeros((len(x), self.num_classes_))
+        for tree in self.trees_:
+            probs += tree.predict_proba(x)
+        return probs / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+
+class GradientBoostingClassifier:
+    """Multiclass gradient boosting with shallow regression trees.
+
+    Each round fits one tree per class to the negative softmax gradient
+    (residual ``onehot - prob``) and adds ``lr * tree`` to that class's
+    score function.
+    """
+
+    def __init__(
+        self,
+        num_rounds: int = 50,
+        lr: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.num_rounds = num_rounds
+        self.lr = lr
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.trees_: List[List[DecisionTreeRegressor]] = []
+        self.base_score_: Optional[np.ndarray] = None
+        self.num_classes_: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        self.num_classes_ = int(y.max()) + 1
+        onehot = np.zeros((n, self.num_classes_))
+        onehot[np.arange(n), y] = 1.0
+        priors = np.clip(onehot.mean(axis=0), 1e-12, None)
+        self.base_score_ = np.log(priors)
+        scores = np.tile(self.base_score_, (n, 1))
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for round_idx in range(self.num_rounds):
+            shifted = scores - scores.max(axis=1, keepdims=True)
+            probs = np.exp(shifted)
+            probs /= probs.sum(axis=1, keepdims=True)
+            residual = onehot - probs
+            round_trees: List[DecisionTreeRegressor] = []
+            if self.subsample < 1.0:
+                pick = rng.random(n) < self.subsample
+                if pick.sum() < 2 * self.min_samples_leaf:
+                    pick = np.ones(n, dtype=bool)
+            else:
+                pick = np.ones(n, dtype=bool)
+            for c in range(self.num_classes_):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    seed=self.seed + round_idx * self.num_classes_ + c,
+                )
+                tree.fit(x[pick], residual[pick, c])
+                scores[:, c] += self.lr * tree.predict(x)
+                round_trees.append(tree)
+            self.trees_.append(round_trees)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.base_score_ is None:
+            raise RuntimeError("fit must be called before predict")
+        x = np.asarray(x, dtype=np.float64)
+        scores = np.tile(self.base_score_, (len(x), 1))
+        for round_trees in self.trees_:
+            for c, tree in enumerate(round_trees):
+                scores[:, c] += self.lr * tree.predict(x)
+        return scores
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(x)
+        scores -= scores.max(axis=1, keepdims=True)
+        probs = np.exp(scores)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.decision_function(x).argmax(axis=1)

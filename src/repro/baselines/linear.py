@@ -1,0 +1,99 @@
+"""Linear baselines: multinomial logistic regression and ridge regression."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LogisticRegressionClassifier:
+    """Multinomial logistic regression trained by full-batch gradient descent.
+
+    A deliberately structure- and interaction-blind baseline: it can only
+    exploit *marginal* feature signal, which is what makes it the reference
+    point for the feature-interaction experiments (Sec. 2.5b).
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        fit_intercept: bool = True,
+    ) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.weights_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.fit_intercept:
+            return np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        return x
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        design = self._design(x)
+        y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(y)
+        num_classes = len(self.classes_)
+        label_index = np.searchsorted(self.classes_, y)
+        onehot = np.zeros((len(y), num_classes))
+        onehot[np.arange(len(y)), label_index] = 1.0
+        w = np.zeros((design.shape[1], num_classes))
+        for _ in range(self.epochs):
+            logits = design @ w
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad = design.T @ (probs - onehot) / len(y) + self.l2 * w
+            w -= self.lr * grad
+        self.weights_ = w
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("fit must be called before predict")
+        logits = self._design(x) @ self.weights_
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]
+
+
+class RidgeRegression:
+    """Closed-form L2-regularized least squares."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be nonnegative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean()
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            x_mean, y_mean, xc, yc = 0.0, 0.0, x, y
+        gram = xc.T @ xc + self.alpha * np.eye(x.shape[1])
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        if self.fit_intercept:
+            self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("fit must be called before predict")
+        return np.asarray(x, dtype=np.float64) @ self.coef_ + self.intercept_

@@ -1,0 +1,56 @@
+"""k-nearest-neighbor classifier (brute force, small-data regime)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.construction.rules import pairwise_distances
+
+
+class KNNClassifier:
+    """Majority vote over the k nearest training rows.
+
+    The non-parametric cousin of the kNN *graph*: comparing it against a
+    kNN-graph GNN isolates what message passing adds beyond local voting.
+    """
+
+    def __init__(self, k: int = 5, metric: str = "euclidean", weighted: bool = False) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.metric = metric
+        self.weighted = weighted
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.int64)
+        if len(self._x) < self.k:
+            raise ValueError("training set smaller than k")
+        self.classes_ = np.unique(self._y)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("fit must be called before predict")
+        x = np.asarray(x, dtype=np.float64)
+        stacked = np.concatenate([x, self._x], axis=0)
+        dist = pairwise_distances(stacked, self.metric)[: len(x), len(x):]
+        nearest = np.argpartition(dist, kth=self.k - 1, axis=1)[:, : self.k]
+        probs = np.zeros((len(x), len(self.classes_)))
+        for i in range(len(x)):
+            neighbor_labels = np.searchsorted(self.classes_, self._y[nearest[i]])
+            if self.weighted:
+                weights = 1.0 / (dist[i, nearest[i]] + 1e-12)
+            else:
+                weights = np.ones(self.k)
+            np.add.at(probs[i], neighbor_labels, weights)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]

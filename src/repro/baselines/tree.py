@@ -1,0 +1,194 @@
+"""CART decision trees (classification and regression).
+
+Trees are the survey's Sec. 6 reference point: they handle non-smooth
+decision boundaries and irrelevant features gracefully, abilities the
+survey proposes importing into tabular GNNs.  Implemented as standard
+greedy CART with exhaustive threshold search per feature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None  # class distribution or mean
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_gini(x, y, num_classes, min_leaf):
+    """Best (feature, threshold, gain) under Gini impurity; None if no split."""
+    n = len(y)
+    counts = np.bincount(y, minlength=num_classes).astype(np.float64)
+    parent_gini = 1.0 - ((counts / n) ** 2).sum()
+    best = None
+    for j in range(x.shape[1]):
+        order = np.argsort(x[:, j], kind="mergesort")
+        xs, ys = x[order, j], y[order]
+        left = np.zeros(num_classes)
+        right = counts.copy()
+        for i in range(n - 1):
+            left[ys[i]] += 1
+            right[ys[i]] -= 1
+            if xs[i] == xs[i + 1]:
+                continue
+            nl, nr = i + 1, n - i - 1
+            if nl < min_leaf or nr < min_leaf:
+                continue
+            gini_l = 1.0 - ((left / nl) ** 2).sum()
+            gini_r = 1.0 - ((right / nr) ** 2).sum()
+            gain = parent_gini - (nl * gini_l + nr * gini_r) / n
+            if best is None or gain > best[2]:
+                best = (j, 0.5 * (xs[i] + xs[i + 1]), gain)
+    return best
+
+
+def _best_split_mse(x, y, min_leaf):
+    """Best (feature, threshold, gain) under variance reduction."""
+    n = len(y)
+    total_sum = y.sum()
+    total_sq = (y**2).sum()
+    parent_var = total_sq / n - (total_sum / n) ** 2
+    best = None
+    for j in range(x.shape[1]):
+        order = np.argsort(x[:, j], kind="mergesort")
+        xs, ys = x[order, j], y[order]
+        cum = np.cumsum(ys)
+        cum_sq = np.cumsum(ys**2)
+        for i in range(n - 1):
+            if xs[i] == xs[i + 1]:
+                continue
+            nl, nr = i + 1, n - i - 1
+            if nl < min_leaf or nr < min_leaf:
+                continue
+            var_l = cum_sq[i] / nl - (cum[i] / nl) ** 2
+            var_r = (total_sq - cum_sq[i]) / nr - ((total_sum - cum[i]) / nr) ** 2
+            gain = parent_var - (nl * var_l + nr * var_r) / n
+            if best is None or gain > best[2]:
+                best = (j, 0.5 * (xs[i] + xs[i + 1]), gain)
+    return best
+
+
+class _BaseTree:
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        min_gain: float = 1e-9,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self.root_: Optional[_Node] = None
+
+    def _feature_subset(self, num_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= num_features:
+            return np.arange(num_features)
+        return self._rng.choice(num_features, size=self.max_features, replace=False)
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self.root_ is None:
+            raise RuntimeError("fit must be called first")
+        return walk(self.root_)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Greedy CART classifier with Gini impurity."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_classes_: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.num_classes_ = int(y.max()) + 1
+        self.root_ = self._grow(x, y, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self.num_classes_).astype(np.float64)
+        return _Node(value=counts / counts.sum())
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if depth >= self.max_depth or len(np.unique(y)) == 1 or len(y) < 2 * self.min_samples_leaf:
+            return self._leaf(y)
+        features = self._feature_subset(x.shape[1])
+        best = _best_split_gini(x[:, features], y, self.num_classes_, self.min_samples_leaf)
+        if best is None or best[2] <= self.min_gain:
+            return self._leaf(y)
+        feature = int(features[best[0]])
+        threshold = best[1]
+        mask = x[:, feature] <= threshold
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("fit must be called before predict")
+        x = np.asarray(x, dtype=np.float64)
+        return np.stack([self._predict_row(row) for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Greedy CART regressor with variance reduction."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.root_ = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or np.allclose(y, y[0]):
+            return _Node(value=np.array([y.mean()]))
+        features = self._feature_subset(x.shape[1])
+        best = _best_split_mse(x[:, features], y, self.min_samples_leaf)
+        if best is None or best[2] <= self.min_gain:
+            return _Node(value=np.array([y.mean()]))
+        feature = int(features[best[0]])
+        threshold = best[1]
+        mask = x[:, feature] <= threshold
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("fit must be called before predict")
+        x = np.asarray(x, dtype=np.float64)
+        return np.array([self._predict_row(row)[0] for row in x])

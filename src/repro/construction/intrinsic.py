@@ -1,0 +1,218 @@
+"""Intrinsic-structure graph construction (survey Sec. 4.2.1).
+
+Builders that use only the table's own row/column/value structure:
+bipartite instance-feature graphs (GRAPE/FATE), heterogeneous graphs with
+feature values as typed nodes (GCT/HSGNN/GraphFC), multiplex graphs with one
+layer per categorical column (TabGNN), hypergraphs with rows as hyperedges
+(HCL/PET), and feature graphs from correlation or external knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.preprocessing import KBinsDiscretizer, StandardScaler
+from repro.datasets.tabular import TabularDataset
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.heterogeneous import HeteroGraph
+from repro.graph.homogeneous import Graph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.multiplex import MultiplexGraph
+from repro.construction.rules import same_value_graph
+
+
+def bipartite_from_dataset(dataset: TabularDataset) -> BipartiteGraph:
+    """Instances × (numerical features ∪ one-hot categorical values) bipartite graph.
+
+    Numerical cells become weighted edges carrying the z-scored value;
+    categorical cells become weight-1 edges to the (column=value) feature
+    node.  NaN / missing cells create no edge — GRAPE's formulation.
+    """
+    blocks = []
+    if dataset.num_numerical:
+        scaled = StandardScaler().fit_transform(dataset.numerical)
+        blocks.append(scaled)
+    if dataset.num_categorical:
+        onehot = np.zeros((dataset.num_instances, dataset.num_category_values))
+        value_ids = dataset.global_value_ids()
+        rows, cols = np.nonzero(value_ids >= 0)
+        onehot[rows, value_ids[rows, cols]] = 1.0
+        onehot[onehot == 0.0] = np.nan  # absent one-hot cells are "no edge"
+        blocks.append(onehot)
+    if not blocks:
+        raise ValueError("dataset has no features")
+    table = np.concatenate(blocks, axis=1)
+    return BipartiteGraph.from_table(table, y=dataset.y)
+
+
+def hetero_from_dataset(
+    dataset: TabularDataset,
+    n_bins: int = 5,
+    include_numerical_bins: bool = False,
+) -> HeteroGraph:
+    """Heterogeneous graph: instance nodes + one node type per categorical column.
+
+    Each categorical column ``c`` contributes nodes for its distinct values
+    and a ``has_c`` edge type from instances to their value — the GCT /
+    HSGNN / GraphFC formulation.  Optionally numerical columns are
+    quantile-binned into value nodes too.
+    """
+    counts: Dict[str, int] = {"instance": dataset.num_instances}
+    columns: list[Tuple[str, np.ndarray, int]] = []
+    for j, name in enumerate(dataset.categorical_names):
+        columns.append((name, dataset.categorical[:, j], dataset.cardinalities[j]))
+    if include_numerical_bins and dataset.num_numerical:
+        binned = KBinsDiscretizer(n_bins).fit_transform(dataset.numerical)
+        for j, name in enumerate(dataset.numerical_names):
+            columns.append((f"{name}_bin", binned[:, j], n_bins))
+    if not columns:
+        raise ValueError(
+            "hetero formulation needs categorical columns "
+            "(or include_numerical_bins=True)"
+        )
+    for name, _, cardinality in columns:
+        counts[name] = cardinality
+    graph = HeteroGraph(counts)
+    for name, codes, _ in columns:
+        observed = np.nonzero(codes >= 0)[0]
+        edge_index = np.stack([observed, codes[observed]]).astype(np.int64)
+        graph.add_edges(("instance", f"has_{name}", name), edge_index)
+    graph.add_reverse_edges()
+    if dataset.num_numerical:
+        graph.set_features("instance", StandardScaler().fit_transform(
+            np.nan_to_num(dataset.numerical, nan=0.0)
+        ))
+    else:
+        graph.set_features("instance", np.ones((dataset.num_instances, 1)))
+    graph.set_labels("instance", dataset.y)
+    return graph
+
+
+def multiplex_from_dataset(
+    dataset: TabularDataset,
+    n_bins: int = 5,
+    include_numerical_bins: bool = False,
+    max_group_degree: Optional[int] = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> MultiplexGraph:
+    """Multiplex instance graph: one Same-Feature-Value layer per column (TabGNN)."""
+    x = dataset.to_matrix()
+    graph = MultiplexGraph(dataset.num_instances, x=x, y=dataset.y)
+    rng = rng or np.random.default_rng(0)
+    for j, name in enumerate(dataset.categorical_names):
+        layer = same_value_graph(
+            dataset.categorical[:, j], max_group_degree=max_group_degree, rng=rng
+        )
+        graph.add_layer(name, layer.edge_index)
+    if include_numerical_bins and dataset.num_numerical:
+        binned = KBinsDiscretizer(n_bins).fit_transform(dataset.numerical)
+        for j, name in enumerate(dataset.numerical_names):
+            layer = same_value_graph(
+                binned[:, j], max_group_degree=max_group_degree, rng=rng
+            )
+            graph.add_layer(f"{name}_bin", layer.edge_index)
+    if graph.num_layers == 0:
+        raise ValueError(
+            "multiplex formulation needs categorical columns "
+            "(or include_numerical_bins=True)"
+        )
+    return graph
+
+
+def hypergraph_from_dataset(
+    dataset: TabularDataset,
+    n_bins: int = 5,
+    include_numerical_bins: bool = True,
+) -> Hypergraph:
+    """Rows-as-hyperedges hypergraph over feature-value nodes (HCL/PET).
+
+    Categorical values become nodes directly.  Numerical columns are
+    quantile-binned into value nodes — except *binary* (0/1) columns such as
+    EHR multi-hot code indicators, which become a single membership node
+    joined exactly when the value is 1 (binning a mostly-constant column
+    would collapse all rows into one degenerate bin).
+    """
+    value_blocks: list[np.ndarray] = []
+    offsets = 0
+    if dataset.num_categorical:
+        ids = dataset.global_value_ids()
+        value_blocks.append(ids)
+        offsets = dataset.num_category_values
+    if include_numerical_bins and dataset.num_numerical:
+        numerical = dataset.numerical
+        observed = ~np.isnan(numerical)
+        is_binary = np.array([
+            bool(np.isin(numerical[observed[:, j], j], (0.0, 1.0)).all())
+            for j in range(dataset.num_numerical)
+        ])
+        binary_cols = np.nonzero(is_binary)[0]
+        if binary_cols.size:
+            block = np.full((dataset.num_instances, binary_cols.size), -1, dtype=np.int64)
+            for out_j, j in enumerate(binary_cols):
+                members = observed[:, j] & (numerical[:, j] == 1.0)
+                block[members, out_j] = offsets + out_j
+            value_blocks.append(block)
+            offsets += int(binary_cols.size)
+        continuous_cols = np.nonzero(~is_binary)[0]
+        if continuous_cols.size:
+            binned = KBinsDiscretizer(n_bins).fit_transform(numerical[:, continuous_cols])
+            shifted = np.where(
+                binned >= 0,
+                binned + offsets + np.arange(continuous_cols.size)[None, :] * n_bins,
+                -1,
+            )
+            value_blocks.append(shifted)
+            offsets += int(continuous_cols.size) * n_bins
+    if not value_blocks:
+        raise ValueError("hypergraph formulation needs at least one value column")
+    value_ids = np.concatenate(value_blocks, axis=1)
+    return Hypergraph.from_value_table(value_ids, num_values=offsets, y=dataset.y)
+
+
+def feature_graph_from_correlation(
+    x: np.ndarray,
+    threshold: float = 0.3,
+    weighted: bool = True,
+) -> Graph:
+    """Feature graph with edges between |Pearson|-correlated columns.
+
+    A rule/knowledge hybrid used as the default feature-graph construction
+    when no external knowledge graph is available (IGNNet uses Pearson
+    correlation for exactly this).
+    """
+    x = np.nan_to_num(np.asarray(x, dtype=np.float64), nan=0.0)
+    d = x.shape[1]
+    if d == 0:
+        raise ValueError("need at least one feature column")
+    std = x.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    normed = (x - x.mean(axis=0)) / safe
+    corr = (normed.T @ normed) / max(1, x.shape[0])
+    corr[np.abs(corr) < threshold] = 0.0
+    np.fill_diagonal(corr, 0.0)
+    src, dst = np.nonzero(corr)
+    edge_index = np.stack([src, dst]).astype(np.int64) if src.size else np.zeros((2, 0), np.int64)
+    weight = np.abs(corr[src, dst]) if (weighted and src.size) else None
+    return Graph(d, edge_index, edge_weight=weight)
+
+
+def feature_graph_from_knowledge(
+    num_features: int,
+    edges: Sequence[Tuple[int, int]],
+    symmetric: bool = True,
+) -> Graph:
+    """Feature graph from an expert-provided relation list (PLATO-style).
+
+    ``edges`` are (feature_i, feature_j) pairs from domain knowledge
+    (protein maps, clinical variable dependencies, ...).
+    """
+    if not edges:
+        raise ValueError("knowledge edge list is empty")
+    edge_index = np.array(edges, dtype=np.int64).T
+    if symmetric:
+        from repro.graph.utils import symmetrize_edge_index
+
+        edge_index, _ = symmetrize_edge_index(edge_index)
+    return Graph(num_features, edge_index)

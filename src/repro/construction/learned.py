@@ -1,0 +1,188 @@
+"""Learning-based graph structure learners (survey Sec. 4.2.3, Table 4).
+
+Three strategies, each an ``nn.Module`` mapping node features to a dense
+*differentiable* adjacency Tensor:
+
+* :class:`MetricGraphLearner` — kernel similarity over (learnably weighted)
+  features: IDGL / DGM / HES-GSL family;
+* :class:`NeuralGraphLearner` — an MLP produces embeddings whose similarity
+  defines edges: SLAPS / SUBLIME / TabGSL family;
+* :class:`DirectGraphLearner` — the adjacency matrix itself is a free
+  parameter: LDS / Table2Graph family.
+
+All learners return a *row-normalized* or GCN-normalized adjacency so they
+can be consumed directly by :class:`repro.gnn.dense.DenseGCNConv`.  Top-k
+sparsification uses a fixed mask through which gradients flow only on kept
+entries (the standard straight-through relaxation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+from repro.tensor import init as tinit
+
+
+def topk_sparsify(scores: np.ndarray, k: int) -> np.ndarray:
+    """0/1 mask keeping the ``k`` largest entries per row (diagonal excluded)."""
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    n = scores.shape[0]
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, n), got {k}")
+    np.fill_diagonal(scores, -np.inf)
+    keep = np.argpartition(scores, kth=n - k - 1, axis=1)[:, -k:]
+    mask = np.zeros_like(scores)
+    np.put_along_axis(mask, keep, 1.0, axis=1)
+    return mask
+
+
+def dense_gcn_norm(adjacency: Tensor, add_self_loops: bool = True, eps: float = 1e-8) -> Tensor:
+    """Differentiable D^-1/2 (A [+ I]) D^-1/2 for a dense nonnegative adjacency."""
+    n = adjacency.shape[0]
+    a = ops.add(adjacency, Tensor(np.eye(n))) if add_self_loops else adjacency
+    degrees = ops.sum(a, axis=1)
+    inv_sqrt = ops.power(ops.add(degrees, Tensor(eps)), -0.5)
+    row = inv_sqrt.reshape(n, 1)
+    col = inv_sqrt.reshape(1, n)
+    return ops.mul(ops.mul(a, row), col)
+
+
+def _symmetrize(a: Tensor) -> Tensor:
+    return ops.mul(Tensor(0.5), ops.add(a, ops.transpose(a)))
+
+
+class MetricGraphLearner(nn.Module):
+    """Multi-head weighted-cosine metric learner (IDGL-style).
+
+    Each head owns a learnable feature-weight vector; head similarity is the
+    cosine between reweighted features, averaged across heads, thresholded
+    at ``epsilon`` (ReLU shift keeps differentiability) and optionally
+    top-k sparsified.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        rng: np.random.Generator,
+        num_heads: int = 4,
+        epsilon: float = 0.0,
+        k: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.num_heads = num_heads
+        self.epsilon = epsilon
+        self.k = k
+        self.head_weights = nn.Parameter(
+            tinit.uniform((num_heads, num_features), 0.5, 1.5, rng)
+        )
+
+    def similarity(self, x: Tensor) -> Tensor:
+        sims = []
+        for h in range(self.num_heads):
+            w = self.head_weights[h]  # (d,)
+            weighted = ops.mul(x, w)
+            norms = ops.power(
+                ops.add(ops.sum(ops.mul(weighted, weighted), axis=1, keepdims=True),
+                        Tensor(1e-12)),
+                0.5,
+            )
+            normed = ops.div(weighted, norms)
+            sims.append(ops.matmul(normed, ops.transpose(normed)))
+        total = sims[0]
+        for s in sims[1:]:
+            total = ops.add(total, s)
+        return ops.mul(Tensor(1.0 / self.num_heads), total)
+
+    def forward(self, x: Tensor) -> Tensor:
+        sim = self.similarity(x)
+        adj = ops.relu(ops.sub(sim, Tensor(self.epsilon)))
+        if self.k is not None:
+            mask = topk_sparsify(adj.data, self.k)
+            adj = ops.mul(adj, Tensor(mask))
+        adj = _symmetrize(adj)
+        return dense_gcn_norm(adj)
+
+
+class NeuralGraphLearner(nn.Module):
+    """MLP-embedding graph generator (SLAPS-style).
+
+    Features pass through an MLP; the adjacency is the ReLU-thresholded
+    cosine similarity of the embeddings, optionally blended with a fixed
+    kNN-initialized prior: ``A = (1-lam) * A_learned + lam * A_init``.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        k: Optional[int] = 15,
+        init_adjacency: Optional[np.ndarray] = None,
+        blend: float = 0.3,
+    ) -> None:
+        super().__init__()
+        self.encoder = nn.MLP(num_features, (hidden_dim,), hidden_dim, rng)
+        self.k = k
+        self.blend = blend if init_adjacency is not None else 0.0
+        self._init_adjacency = (
+            None if init_adjacency is None else np.asarray(init_adjacency, dtype=np.float64)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        z = self.encoder(x)
+        norms = ops.power(
+            ops.add(ops.sum(ops.mul(z, z), axis=1, keepdims=True), Tensor(1e-12)), 0.5
+        )
+        normed = ops.div(z, norms)
+        sim = ops.relu(ops.matmul(normed, ops.transpose(normed)))
+        if self.k is not None:
+            mask = topk_sparsify(sim.data, self.k)
+            sim = ops.mul(sim, Tensor(mask))
+        sim = _symmetrize(sim)
+        if self._init_adjacency is not None and self.blend > 0:
+            sim = ops.add(
+                ops.mul(Tensor(1.0 - self.blend), sim),
+                Tensor(self.blend * self._init_adjacency),
+            )
+        return dense_gcn_norm(sim)
+
+
+class DirectGraphLearner(nn.Module):
+    """Free-parameter adjacency (LDS / Table2Graph style).
+
+    ``A = sigmoid(theta)`` (symmetrized).  ``theta`` can be initialized from
+    a prior graph (e.g. kNN) or randomly.  :meth:`sparsity_penalty` exposes
+    the L1 regularizer Table2Graph uses to keep the matrix sparse.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        rng: np.random.Generator,
+        init_adjacency: Optional[np.ndarray] = None,
+        init_scale: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if init_adjacency is not None:
+            prior = np.asarray(init_adjacency, dtype=np.float64)
+            if prior.shape != (num_nodes, num_nodes):
+                raise ValueError("init_adjacency must be (n, n)")
+            logits = init_scale * (2.0 * np.clip(prior, 0, 1) - 1.0)
+        else:
+            logits = rng.normal(0.0, init_scale, size=(num_nodes, num_nodes))
+        self.theta = nn.Parameter(logits)
+
+    def adjacency(self) -> Tensor:
+        return _symmetrize(ops.sigmoid(self.theta))
+
+    def forward(self, x: Optional[Tensor] = None) -> Tensor:
+        # ``x`` accepted (and ignored) for interface parity with other learners.
+        return dense_gcn_norm(self.adjacency())
+
+    def sparsity_penalty(self) -> Tensor:
+        """Mean absolute edge probability — L1 sparsity regularizer."""
+        return ops.mean(self.adjacency())

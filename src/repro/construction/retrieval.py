@@ -1,0 +1,80 @@
+"""Retrieval-based graph construction (survey Sec. 4.2.4, PET [27]).
+
+For each target row, retrieve the most relevant rows from a data pool and
+connect the target to its retrieved neighbors.  Unlike plain kNN over the
+full dataset, retrieval (a) separates the query set from the pool — new
+rows can be linked into a frozen pool at test time — and (b) can restrict
+similarity to a subset of columns (the "label-relevant" view PET uses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.construction.rules import pairwise_similarity
+from repro.graph.homogeneous import Graph
+from repro.graph.utils import symmetrize_edge_index
+
+
+def retrieve_neighbors(
+    queries: np.ndarray,
+    pool: np.ndarray,
+    k: int,
+    measure: str = "cosine",
+) -> np.ndarray:
+    """Indices (len(queries), k) of each query's top-k pool rows."""
+    queries = np.asarray(queries, dtype=np.float64)
+    pool = np.asarray(pool, dtype=np.float64)
+    if not 1 <= k <= pool.shape[0]:
+        raise ValueError(f"k must be in [1, pool size], got {k}")
+    stacked = np.concatenate([queries, pool], axis=0)
+    sim = pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
+    top = np.argpartition(sim, kth=pool.shape[0] - k, axis=1)[:, -k:]
+    order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
+    return np.take_along_axis(top, order, axis=1)
+
+
+def retrieval_augmented_graph(
+    x: np.ndarray,
+    pool_mask: np.ndarray,
+    k: int = 10,
+    measure: str = "cosine",
+    columns: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> Graph:
+    """Connect every row to its top-k retrieved rows *inside the pool*.
+
+    ``pool_mask`` marks the retrievable rows (typically the training set).
+    Pool rows retrieve among the other pool rows; non-pool rows (val/test)
+    retrieve from the pool only, so no information flows between test rows.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    pool_mask = np.asarray(pool_mask, dtype=bool)
+    if pool_mask.shape != (x.shape[0],):
+        raise ValueError("pool_mask must be a boolean vector over rows")
+    view = x if columns is None else x[:, columns]
+    pool_idx = np.nonzero(pool_mask)[0]
+    if len(pool_idx) <= k:
+        raise ValueError("pool must contain more than k rows")
+
+    sources: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    # Pool rows: retrieve among pool excluding self.
+    sim = pairwise_similarity(view[pool_idx], measure)
+    np.fill_diagonal(sim, -np.inf)
+    top = np.argpartition(sim, kth=len(pool_idx) - k - 1, axis=1)[:, -k:]
+    for local, node in enumerate(pool_idx):
+        sources.append(pool_idx[top[local]])
+        targets.append(np.full(k, node, dtype=np.int64))
+    # Query rows: retrieve from pool.
+    query_idx = np.nonzero(~pool_mask)[0]
+    if query_idx.size:
+        neighbors = retrieve_neighbors(view[query_idx], view[pool_idx], k, measure)
+        for local, node in enumerate(query_idx):
+            sources.append(pool_idx[neighbors[local]])
+            targets.append(np.full(k, node, dtype=np.int64))
+    edge_index = np.stack([np.concatenate(sources), np.concatenate(targets)])
+    edge_index, _ = symmetrize_edge_index(edge_index.astype(np.int64))
+    return Graph(x.shape[0], edge_index, x=x, y=y)

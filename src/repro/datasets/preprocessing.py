@@ -1,0 +1,201 @@
+"""Preprocessing: scalers, encoders, discretizer, split utilities.
+
+Fit/transform objects mirror the sklearn API surface we need, implemented
+on numpy so the library stays dependency-light.  All handle NaN (missing)
+inputs gracefully: statistics are computed over observed entries only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class StandardScaler:
+    """Z-score columns using statistics over observed (non-NaN) entries."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = np.nanmean(x, axis=0)
+        std = np.nanstd(x, axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fit before transform")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fit before inverse_transform")
+        return np.asarray(x, dtype=np.float64) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale columns into [0, 1] using observed minima/maxima."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.min_ = np.nanmin(x, axis=0)
+        rng = np.nanmax(x, axis=0) - self.min_
+        self.range_ = np.where(rng > 0, rng, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fit before transform")
+        return (np.asarray(x, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fit before inverse_transform")
+        return np.asarray(x, dtype=np.float64) * self.range_ + self.min_
+
+
+class OneHotEncoder:
+    """One-hot encode integer category codes; ``-1`` (missing) → all-zero row."""
+
+    def __init__(self) -> None:
+        self.cardinalities_: Optional[list[int]] = None
+
+    def fit(self, codes: np.ndarray) -> "OneHotEncoder":
+        codes = np.asarray(codes, dtype=np.int64)
+        self.cardinalities_ = [
+            int(codes[:, j].max()) + 1 if (codes[:, j] >= 0).any() else 0
+            for j in range(codes.shape[1])
+        ]
+        return self
+
+    def transform(self, codes: np.ndarray) -> np.ndarray:
+        if self.cardinalities_ is None:
+            raise RuntimeError("encoder must be fit before transform")
+        codes = np.asarray(codes, dtype=np.int64)
+        blocks = []
+        for j, card in enumerate(self.cardinalities_):
+            block = np.zeros((codes.shape[0], card))
+            col = codes[:, j]
+            observed = (col >= 0) & (col < card)
+            block[np.nonzero(observed)[0], col[observed]] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((codes.shape[0], 0))
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, codes: np.ndarray) -> np.ndarray:
+        return self.fit(codes).transform(codes)
+
+
+class OrdinalEncoder:
+    """Map arbitrary hashable column values to dense integer codes."""
+
+    def __init__(self) -> None:
+        self.mappings_: Optional[list[Dict[object, int]]] = None
+
+    def fit(self, columns: np.ndarray) -> "OrdinalEncoder":
+        columns = np.asarray(columns, dtype=object)
+        self.mappings_ = []
+        for j in range(columns.shape[1]):
+            values = sorted(set(columns[:, j]), key=repr)
+            self.mappings_.append({v: i for i, v in enumerate(values)})
+        return self
+
+    def transform(self, columns: np.ndarray) -> np.ndarray:
+        if self.mappings_ is None:
+            raise RuntimeError("encoder must be fit before transform")
+        columns = np.asarray(columns, dtype=object)
+        out = np.full(columns.shape, -1, dtype=np.int64)
+        for j, mapping in enumerate(self.mappings_):
+            for i in range(columns.shape[0]):
+                out[i, j] = mapping.get(columns[i, j], -1)
+        return out
+
+    def fit_transform(self, columns: np.ndarray) -> np.ndarray:
+        return self.fit(columns).transform(columns)
+
+
+class KBinsDiscretizer:
+    """Quantile-bin continuous columns into integer codes.
+
+    Needed to apply the Same-Feature-Value construction rule (Sec. 4.2.2) to
+    continuous features — the survey notes the rule "is not always effective
+    for continuous features without discretization".
+    """
+
+    def __init__(self, n_bins: int = 5) -> None:
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.edges_: Optional[list[np.ndarray]] = None
+
+    def fit(self, x: np.ndarray) -> "KBinsDiscretizer":
+        x = np.asarray(x, dtype=np.float64)
+        quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+        self.edges_ = [
+            np.nanquantile(x[:, j], quantiles) for j in range(x.shape[1])
+        ]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.edges_ is None:
+            raise RuntimeError("discretizer must be fit before transform")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros(x.shape, dtype=np.int64)
+        for j, edges in enumerate(self.edges_):
+            out[:, j] = np.searchsorted(edges, x[:, j], side="right")
+            out[np.isnan(x[:, j]), j] = -1
+        return out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def train_val_test_masks(
+    n: int,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+    stratify: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) boolean train/val/test masks.
+
+    Stratified splitting keeps per-class proportions, important for the
+    imbalanced fraud/anomaly applications.
+    """
+    if train_fraction <= 0 or val_fraction < 0 or train_fraction + val_fraction >= 1:
+        raise ValueError("fractions must satisfy 0 < train, 0 <= val, train+val < 1")
+    rng = rng or np.random.default_rng(0)
+    train = np.zeros(n, dtype=bool)
+    val = np.zeros(n, dtype=bool)
+    test = np.zeros(n, dtype=bool)
+
+    def assign(indices: np.ndarray) -> None:
+        perm = rng.permutation(indices)
+        n_train = int(round(len(perm) * train_fraction))
+        n_val = int(round(len(perm) * val_fraction))
+        train[perm[:n_train]] = True
+        val[perm[n_train : n_train + n_val]] = True
+        test[perm[n_train + n_val :]] = True
+
+    if stratify is None:
+        assign(np.arange(n))
+    else:
+        stratify = np.asarray(stratify)
+        for label in np.unique(stratify):
+            assign(np.nonzero(stratify == label)[0])
+    return train, val, test

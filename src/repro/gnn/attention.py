@@ -1,0 +1,108 @@
+"""Graph attention convolution (GAT [126]) with optional edge features.
+
+The edge-feature pathway implements the survey's "Distance Preservation"
+design (Table 6, LUNAR [44]): per-edge scalars (e.g. neighbor distances)
+enter the attention logits through a learned projection, so the learned
+representation preserves distance information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+from repro.tensor import init as tinit
+
+
+class GATConv(nn.Module):
+    """Multi-head graph attention.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Per-head output width is ``out_features``; heads are averaged when
+        ``concat_heads=False`` (final layers) else concatenated.
+    edge_dim:
+        If given, per-edge feature vectors of this width modulate attention.
+    add_self_loops:
+        Append one self loop per node (with zero edge features) so every
+        node attends at least to itself.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        num_heads: int = 4,
+        concat_heads: bool = False,
+        edge_dim: Optional[int] = None,
+        negative_slope: float = 0.2,
+        add_self_loops: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_heads = num_heads
+        self.out_features = out_features
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.add_self_loops = add_self_loops
+        self.weight = nn.Parameter(
+            tinit.glorot_uniform((in_features, num_heads * out_features), rng)
+        )
+        self.att_src = nn.Parameter(tinit.glorot_uniform((num_heads, out_features), rng))
+        self.att_dst = nn.Parameter(tinit.glorot_uniform((num_heads, out_features), rng))
+        self.bias = nn.Parameter(
+            np.zeros(num_heads * out_features if concat_heads else out_features)
+        )
+        if edge_dim is not None:
+            self.edge_proj = nn.Linear(edge_dim, num_heads, rng)
+        else:
+            self.edge_proj = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_features * (self.num_heads if self.concat_heads else 1)
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_features: Optional[Tensor] = None,
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        if self.add_self_loops:
+            loops = np.tile(np.arange(num_nodes, dtype=np.int64), (2, 1))
+            edge_index = np.concatenate([edge_index, loops], axis=1)
+            if edge_features is not None:
+                zeros = Tensor(np.zeros((num_nodes, edge_features.shape[1])))
+                edge_features = ops.concat([edge_features, zeros], axis=0)
+        src, dst = edge_index[0], edge_index[1]
+
+        h = ops.matmul(x, self.weight).reshape(num_nodes, self.num_heads, self.out_features)
+        h_flat = h.reshape(num_nodes, self.num_heads * self.out_features)
+        h_src = ops.gather_rows(h_flat, src).reshape(len(src), self.num_heads, self.out_features)
+        h_dst = ops.gather_rows(h_flat, dst).reshape(len(dst), self.num_heads, self.out_features)
+
+        # Attention logits per edge and head.
+        score_src = ops.sum(ops.mul(h_src, self.att_src), axis=-1)  # (E, heads)
+        score_dst = ops.sum(ops.mul(h_dst, self.att_dst), axis=-1)
+        scores = ops.add(score_src, score_dst)
+        if self.edge_proj is not None:
+            if edge_features is None:
+                raise ValueError("layer was built with edge_dim but no edge features given")
+            scores = ops.add(scores, self.edge_proj(edge_features))
+        scores = ops.leaky_relu(scores, self.negative_slope)
+
+        alpha = ops.segment_softmax(scores, dst, num_nodes)  # (E, heads)
+        weighted = ops.mul(h_src, alpha.reshape(len(src), self.num_heads, 1))
+        aggregated = ops.segment_sum(weighted, dst, num_nodes)  # (n, heads, out)
+
+        if self.concat_heads:
+            out = aggregated.reshape(num_nodes, self.num_heads * self.out_features)
+        else:
+            out = ops.mean(aggregated, axis=1)
+        return ops.add(out, self.bias)

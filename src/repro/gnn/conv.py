@@ -1,0 +1,95 @@
+"""Sparse homogeneous graph convolutions: GCN, GraphSAGE, GIN, GatedGraph.
+
+Each layer's ``forward`` takes the node-feature tensor plus the appropriate
+precomputed sparse operator (see :class:`repro.graph.Graph` adjacency
+methods), keeping layers stateless with respect to graph structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import nn
+from repro.tensor import Tensor, ops
+from repro.tensor import init as tinit
+
+
+class GCNConv(nn.Module):
+    """Kipf-Welling graph convolution: ``A_hat @ X @ W + b``.
+
+    ``adjacency`` should be the symmetric-normalized operator from
+    :meth:`repro.graph.Graph.gcn_adjacency`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True) -> None:
+        super().__init__()
+        self.linear = nn.Linear(in_features, out_features, rng, bias=bias)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        return ops.spmm(adjacency, self.linear(x))
+
+
+class SAGEConv(nn.Module):
+    """GraphSAGE with mean aggregator: ``[X || mean_N(X)] @ W + b``.
+
+    ``adjacency`` should be the row-normalized operator from
+    :meth:`repro.graph.Graph.mean_adjacency` (without self loops — the self
+    representation enters through the concatenation).
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = nn.Linear(2 * in_features, out_features, rng)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        neighbor = ops.spmm(adjacency, x)
+        return self.linear(ops.concat([x, neighbor], axis=1))
+
+
+class GINConv(nn.Module):
+    """Graph Isomorphism Network layer: ``MLP((1 + eps) * X + sum_N(X))``.
+
+    ``adjacency`` should be the *unnormalized* adjacency (sum aggregation) —
+    GIN's injectivity argument requires sums, not means.  ``eps`` is
+    learnable as in the original paper.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 hidden_dim: Optional[int] = None) -> None:
+        super().__init__()
+        hidden = hidden_dim or out_features
+        self.mlp = nn.MLP(in_features, (hidden,), out_features, rng)
+        self.eps = nn.Parameter(np.zeros(1))
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        neighbor_sum = ops.spmm(adjacency, x)
+        scaled_self = ops.mul(x, ops.add(Tensor(1.0), self.eps))
+        return self.mlp(ops.add(scaled_self, neighbor_sum))
+
+
+class GatedGraphConv(nn.Module):
+    """Gated graph sequence layer (GGNN [82], used by Fi-GNN / Causal-GNN).
+
+    Runs ``num_steps`` rounds of message passing where the node state is
+    updated by a GRU cell: ``h <- GRU(A_mean @ (h W), h)``.  Input width
+    must equal the state width.
+    """
+
+    def __init__(self, state_dim: int, rng: np.random.Generator, num_steps: int = 2) -> None:
+        super().__init__()
+        if num_steps < 1:
+            raise ValueError("num_steps must be >= 1")
+        self.num_steps = num_steps
+        self.message = nn.Linear(state_dim, state_dim, rng)
+        self.gru = nn.GRUCell(state_dim, state_dim, rng)
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        h = x
+        for _ in range(self.num_steps):
+            messages = ops.spmm(adjacency, self.message(h))
+            h = self.gru(messages, h)
+        return h

@@ -1,0 +1,60 @@
+"""Dense-adjacency graph convolution for *learned* graph structures.
+
+When the adjacency is itself a differentiable Tensor (output of a
+:mod:`repro.construction.learned` structure learner), aggregation must be a
+dense matmul so gradients reach the learner — this is the representation-
+learning half of IDGL/SLAPS/LDS-style joint structure-and-GNN training.
+
+Also supports *batched* adjacencies/features ``(batch, n, n) × (batch, n, d)``,
+which is how per-instance feature graphs (Fi-GNN/T2G-Former style) are
+processed: every table row owns a small graph over its d feature fields.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+
+
+class DenseGCNConv(nn.Module):
+    """GCN layer over a dense (possibly batched) normalized adjacency Tensor."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = nn.Linear(in_features, out_features, rng)
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        return ops.matmul(adjacency, self.linear(x))
+
+
+class DenseGNN(nn.Module):
+    """Multi-layer dense GCN with ReLU and dropout, for learned adjacencies."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dims: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        widths = [in_features, *hidden_dims, out_features]
+        self.convs = nn.ModuleList(
+            [DenseGCNConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
+        )
+        self.dropout = nn.Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        h = x
+        for i, conv in enumerate(self.convs):
+            h = conv(h, adjacency)
+            if i < len(self.convs) - 1:
+                h = ops.relu(h)
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return h

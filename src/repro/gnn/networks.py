@@ -1,0 +1,233 @@
+"""Ready-made node-classification GNN stacks (the Table 5 "model zoo").
+
+Each network takes a :class:`repro.graph.Graph`, precomputes the operator
+its convolution family needs, and produces node logits/embeddings.  The
+uniform interface lets benchmarks sweep architectures (Table 5) with one
+loop: ``build_network(name, graph, ...)``.
+
+``forward(x=None)`` accepts an optional replacement feature tensor so the
+training plans in :mod:`repro.training.tasks` can push *corrupted or
+augmented views* of the features through the same network (denoising
+autoencoder and contrastive auxiliary tasks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.gnn.attention import GATConv
+from repro.gnn.conv import GCNConv, GINConv, GatedGraphConv, SAGEConv
+from repro.graph.homogeneous import Graph
+from repro.tensor import Tensor, ops
+
+
+class _NodeNetwork(nn.Module):
+    """Shared plumbing: feature tensor, dropout, view overrides."""
+
+    def __init__(self, graph: Graph, rng: np.random.Generator, dropout: float) -> None:
+        super().__init__()
+        if graph.x is None:
+            raise ValueError("graph must carry node features")
+        self.graph = graph
+        self.x = Tensor(graph.x)
+        self.dropout = nn.Dropout(dropout, rng) if dropout > 0 else None
+
+    def _input(self, x: Optional[Tensor]) -> Tensor:
+        return self.x if x is None else x
+
+    def _maybe_dropout(self, h: Tensor) -> Tensor:
+        return self.dropout(h) if self.dropout is not None else h
+
+    @property
+    def in_features(self) -> int:
+        return int(self.x.shape[1])
+
+
+class _ConvStack(_NodeNetwork):
+    """Common forward/embed loop for operator-based conv stacks."""
+
+    activation = staticmethod(ops.relu)
+
+    def forward(self, x: Optional[Tensor] = None) -> Tensor:
+        h = self._input(x)
+        for i, conv in enumerate(self.convs):
+            h = conv(h, self._adj)
+            if i < len(self.convs) - 1:
+                h = self._maybe_dropout(self.activation(h))
+        return h
+
+    def embed(self, x: Optional[Tensor] = None) -> Tensor:
+        h = self._input(x)
+        for conv in self.convs[:-1]:
+            h = self.activation(conv(h, self._adj))
+        return h
+
+    @property
+    def embed_dim(self) -> int:
+        return int(self._embed_dim)
+
+
+class GCN(_ConvStack):
+    """Multi-layer GCN [77] on the symmetric-normalized adjacency."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__(graph, rng, dropout)
+        self._adj = graph.gcn_adjacency()
+        widths = [graph.num_features, *hidden_dims, out_dim]
+        self.convs = nn.ModuleList(
+            [GCNConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
+        )
+        self._embed_dim = widths[-2]
+
+
+class GraphSAGE(_ConvStack):
+    """Multi-layer GraphSAGE [52] with mean aggregation."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__(graph, rng, dropout)
+        self._adj = graph.mean_adjacency()
+        widths = [graph.num_features, *hidden_dims, out_dim]
+        self.convs = nn.ModuleList(
+            [SAGEConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
+        )
+        self._embed_dim = widths[-2]
+
+
+class GIN(_ConvStack):
+    """Multi-layer GIN [151] with sum aggregation."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__(graph, rng, dropout)
+        self._adj = graph.adjacency()
+        widths = [graph.num_features, *hidden_dims, out_dim]
+        self.convs = nn.ModuleList(
+            [GINConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
+        )
+        self._embed_dim = widths[-2]
+
+
+class GAT(_NodeNetwork):
+    """Multi-layer GAT [126]; hidden layers concatenate heads, output averages."""
+
+    activation = staticmethod(ops.elu)
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        rng: np.random.Generator,
+        num_heads: int = 4,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__(graph, rng, dropout)
+        self._edge_index = graph.edge_index
+        convs = []
+        prev = graph.num_features
+        for width in hidden_dims:
+            conv = GATConv(prev, width, rng, num_heads=num_heads, concat_heads=True)
+            convs.append(conv)
+            prev = conv.output_dim
+        convs.append(GATConv(prev, out_dim, rng, num_heads=num_heads, concat_heads=False))
+        self.convs = nn.ModuleList(convs)
+        self._embed_dim = prev
+
+    def forward(self, x: Optional[Tensor] = None) -> Tensor:
+        h = self._input(x)
+        for i, conv in enumerate(self.convs):
+            h = conv(h, self._edge_index)
+            if i < len(self.convs) - 1:
+                h = self._maybe_dropout(ops.elu(h))
+        return h
+
+    def embed(self, x: Optional[Tensor] = None) -> Tensor:
+        h = self._input(x)
+        for conv in self.convs[:-1]:
+            h = ops.elu(conv(h, self._edge_index))
+        return h
+
+    @property
+    def embed_dim(self) -> int:
+        return int(self._embed_dim)
+
+
+class GatedGNN(_NodeNetwork):
+    """Projection + GatedGraphConv (GGNN [82]) + linear head."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        num_steps: int = 3,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__(graph, rng, dropout)
+        self._adj = graph.mean_adjacency(add_self_loops=True)
+        self.proj = nn.Linear(graph.num_features, hidden_dim, rng)
+        self.gated = GatedGraphConv(hidden_dim, rng, num_steps=num_steps)
+        self.head = nn.Linear(hidden_dim, out_dim, rng)
+        self._embed_dim = hidden_dim
+
+    def forward(self, x: Optional[Tensor] = None) -> Tensor:
+        return self.head(self._maybe_dropout(self.embed(x)))
+
+    def embed(self, x: Optional[Tensor] = None) -> Tensor:
+        h = ops.relu(self.proj(self._input(x)))
+        return self.gated(h, self._adj)
+
+    @property
+    def embed_dim(self) -> int:
+        return int(self._embed_dim)
+
+
+NETWORKS = {
+    "gcn": GCN,
+    "sage": GraphSAGE,
+    "gat": GAT,
+    "gin": GIN,
+    "gated": GatedGNN,
+}
+
+
+def build_network(
+    name: str,
+    graph: Graph,
+    hidden_dim: int,
+    out_dim: int,
+    rng: np.random.Generator,
+    num_layers: int = 2,
+    dropout: float = 0.0,
+) -> nn.Module:
+    """Instantiate a Table 5 architecture by name with uniform arguments."""
+    if name not in NETWORKS:
+        raise ValueError(f"unknown network {name!r}; choose from {sorted(NETWORKS)}")
+    if name == "gated":
+        return GatedGNN(graph, hidden_dim, out_dim, rng, dropout=dropout)
+    hidden_dims = [hidden_dim] * max(0, num_layers - 1)
+    return NETWORKS[name](graph, hidden_dims, out_dim, rng, dropout=dropout)

@@ -1,0 +1,55 @@
+"""Permutation-invariant readouts (survey Sec. 2.3, graph-level tasks).
+
+Feature-graph methods (Fi-GNN, T2G-Former, Table2Graph) classify each table
+row from the states of its *feature nodes* — a graph-level prediction per
+row.  Node states arrive batched as ``(rows, nodes, dim)`` and readouts
+reduce over the node axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+
+
+def _check_batched(h: Tensor) -> None:
+    if h.ndim != 3:
+        raise ValueError(f"readout expects (batch, nodes, dim), got shape {h.shape}")
+
+
+def sum_readout(h: Tensor) -> Tensor:
+    _check_batched(h)
+    return ops.sum(h, axis=1)
+
+
+def mean_readout(h: Tensor) -> Tensor:
+    _check_batched(h)
+    return ops.mean(h, axis=1)
+
+
+def max_readout(h: Tensor) -> Tensor:
+    _check_batched(h)
+    return ops.max(h, axis=1)
+
+
+class AttentionReadout(nn.Module):
+    """Gated attention pooling: softmax-scored weighted sum over nodes.
+
+    The scoring network sees each node state; scores are normalized over
+    the node axis.  Permutation invariance holds because both scoring and
+    the weighted sum are per-node followed by a symmetric reduction.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.score = nn.Linear(dim, 1, rng)
+
+    def forward(self, h: Tensor) -> Tensor:
+        _check_batched(h)
+        batch, nodes, dim = h.shape
+        flat = h.reshape(batch * nodes, dim)
+        scores = self.score(flat).reshape(batch, nodes)
+        alpha = ops.softmax(scores, axis=1).reshape(batch, nodes, 1)
+        return ops.sum(ops.mul(h, alpha), axis=1)

@@ -1,0 +1,43 @@
+"""Graph data structures for tabular data (survey Sec. 2.2 & 4.1).
+
+Implements every graph formulation the survey catalogues:
+
+* :class:`~repro.graph.homogeneous.Graph` — homogeneous attributed graphs
+  (instance graphs and feature graphs, Sec. 4.1.1);
+* :class:`~repro.graph.bipartite.BipartiteGraph` — instance-feature bipartite
+  graphs (GRAPE/FATE/IGRM style, Sec. 4.1.2);
+* :class:`~repro.graph.heterogeneous.HeteroGraph` — general heterogeneous
+  graphs with typed nodes and edges (Sec. 4.1.2);
+* :class:`~repro.graph.multiplex.MultiplexGraph` — multi-relational layered
+  graphs sharing one node set (TabGNN style, Sec. 4.1.2);
+* :class:`~repro.graph.hypergraph.Hypergraph` — hypergraphs whose hyperedges
+  join any number of tabular elements (HCL/PET/HyTrel style, Sec. 4.1.3).
+"""
+
+from repro.graph.homogeneous import Graph
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.heterogeneous import HeteroGraph
+from repro.graph.multiplex import MultiplexGraph
+from repro.graph.hypergraph import Hypergraph
+from repro.graph.utils import (
+    edge_homophily,
+    degree_statistics,
+    graph_summary,
+    symmetrize_edge_index,
+    remove_self_loops,
+    coalesce_edge_index,
+)
+
+__all__ = [
+    "Graph",
+    "BipartiteGraph",
+    "HeteroGraph",
+    "MultiplexGraph",
+    "Hypergraph",
+    "edge_homophily",
+    "degree_statistics",
+    "graph_summary",
+    "symmetrize_edge_index",
+    "remove_self_loops",
+    "coalesce_edge_index",
+]

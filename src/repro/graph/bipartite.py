@@ -1,0 +1,165 @@
+"""Bipartite instance-feature graphs (survey Sec. 4.1.2, GRAPE [157]).
+
+Rows become *instance nodes*, columns become *feature nodes*, and each
+observed cell ``(i, j)`` becomes an edge whose weight carries the feature
+value.  Missing cells simply have no edge — the formulation's native way of
+handling missing data (advantage (d) in the survey) — and imputation becomes
+edge-value prediction (advantage (e)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class BipartiteGraph:
+    """Instance-feature bipartite graph with feature values as edge weights.
+
+    Parameters
+    ----------
+    num_instances, num_features:
+        Sizes of the two node sets.
+    edge_instance, edge_feature:
+        Parallel ``(E,)`` arrays: edge ``k`` joins instance ``edge_instance[k]``
+        to feature ``edge_feature[k]``.
+    edge_value:
+        ``(E,)`` observed cell values (normalized features).
+    y:
+        Optional instance labels.
+    """
+
+    def __init__(
+        self,
+        num_instances: int,
+        num_features: int,
+        edge_instance: np.ndarray,
+        edge_feature: np.ndarray,
+        edge_value: np.ndarray,
+        y: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_instances = int(num_instances)
+        self.num_features = int(num_features)
+        self.edge_instance = np.asarray(edge_instance, dtype=np.int64)
+        self.edge_feature = np.asarray(edge_feature, dtype=np.int64)
+        self.edge_value = np.asarray(edge_value, dtype=np.float64)
+        if not (
+            self.edge_instance.shape
+            == self.edge_feature.shape
+            == self.edge_value.shape
+        ):
+            raise ValueError("edge arrays must have identical shapes")
+        if self.edge_instance.size:
+            if self.edge_instance.min() < 0 or self.edge_instance.max() >= num_instances:
+                raise ValueError("edge_instance out of range")
+            if self.edge_feature.min() < 0 or self.edge_feature.max() >= num_features:
+                raise ValueError("edge_feature out of range")
+        self.y = None if y is None else np.asarray(y)
+        if self.y is not None and self.y.shape[0] != num_instances:
+            raise ValueError("y must have one entry per instance")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_instance.shape[0])
+
+    @classmethod
+    def from_table(
+        cls,
+        values: np.ndarray,
+        observed_mask: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> "BipartiteGraph":
+        """Build from a (possibly incomplete) numeric table.
+
+        ``observed_mask[i, j] == False`` (or a NaN in ``values``) means the
+        cell is missing and no edge is created.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be a 2-D table")
+        if observed_mask is None:
+            observed_mask = ~np.isnan(values)
+        observed_mask = np.asarray(observed_mask, dtype=bool)
+        if observed_mask.shape != values.shape:
+            raise ValueError("observed_mask must match values shape")
+        rows, cols = np.nonzero(observed_mask)
+        return cls(
+            num_instances=values.shape[0],
+            num_features=values.shape[1],
+            edge_instance=rows,
+            edge_feature=cols,
+            edge_value=values[rows, cols],
+            y=y,
+        )
+
+    # ------------------------------------------------------------------
+    def incidence(self, normalize: bool = True) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Return (instance←feature, feature←instance) aggregation operators.
+
+        Both are row-normalized when ``normalize`` so each aggregation is a
+        mean over observed neighbors.
+        """
+        inst_from_feat = sp.csr_matrix(
+            (np.ones(self.num_edges), (self.edge_instance, self.edge_feature)),
+            shape=(self.num_instances, self.num_features),
+        )
+        feat_from_inst = inst_from_feat.T.tocsr()
+        if normalize:
+            inst_from_feat = _row_normalize(inst_from_feat)
+            feat_from_inst = _row_normalize(feat_from_inst)
+        return inst_from_feat, feat_from_inst
+
+    def observed_matrix(self) -> np.ndarray:
+        """Dense table with NaN for unobserved cells."""
+        table = np.full((self.num_instances, self.num_features), np.nan)
+        table[self.edge_instance, self.edge_feature] = self.edge_value
+        return table
+
+    def observed_mask(self) -> np.ndarray:
+        mask = np.zeros((self.num_instances, self.num_features), dtype=bool)
+        mask[self.edge_instance, self.edge_feature] = True
+        return mask
+
+    def split_edges(
+        self, holdout_fraction: float, rng: np.random.Generator
+    ) -> Tuple["BipartiteGraph", Dict[str, np.ndarray]]:
+        """Hold out a fraction of edges (cells) for imputation evaluation.
+
+        Returns the graph without the held-out edges, plus the held-out
+        (instance, feature, value) triples.
+        """
+        if not 0.0 < holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        n_hold = max(1, int(round(self.num_edges * holdout_fraction)))
+        perm = rng.permutation(self.num_edges)
+        hold, keep = perm[:n_hold], perm[n_hold:]
+        train_graph = BipartiteGraph(
+            self.num_instances,
+            self.num_features,
+            self.edge_instance[keep],
+            self.edge_feature[keep],
+            self.edge_value[keep],
+            y=self.y,
+        )
+        heldout = {
+            "instance": self.edge_instance[hold],
+            "feature": self.edge_feature[hold],
+            "value": self.edge_value[hold],
+        }
+        return train_graph, heldout
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BipartiteGraph(instances={self.num_instances}, "
+            f"features={self.num_features}, edges={self.num_edges})"
+        )
+
+
+def _row_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    degrees = np.asarray(matrix.sum(axis=1)).reshape(-1)
+    from repro.graph.utils import safe_reciprocal
+
+    return (sp.diags(safe_reciprocal(degrees)) @ matrix).tocsr()

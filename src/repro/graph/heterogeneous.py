@@ -1,0 +1,123 @@
+"""General heterogeneous graphs with typed nodes and typed edges (Sec. 4.1.2).
+
+The canonical tabular use is *feature values as nodes*: each categorical
+value becomes a typed node connected to the instances possessing it (GCT,
+HSGNN, xFraud, GraphFC style).  Relational-database rows-as-typed-nodes also
+fit this class (GNNDB/RelBench style).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+EdgeType = Tuple[str, str, str]  # (source node type, relation name, destination node type)
+
+
+class HeteroGraph:
+    """A heterogeneous graph: node sets per type, edge indexes per edge type.
+
+    Parameters
+    ----------
+    node_counts:
+        Mapping node-type name → number of nodes of that type.
+    """
+
+    def __init__(self, node_counts: Dict[str, int]) -> None:
+        if not node_counts:
+            raise ValueError("a heterogeneous graph needs at least one node type")
+        self.node_counts: Dict[str, int] = {k: int(v) for k, v in node_counts.items()}
+        self.edge_indexes: Dict[EdgeType, np.ndarray] = {}
+        self.node_features: Dict[str, np.ndarray] = {}
+        self.y: Optional[np.ndarray] = None
+        self.target_type: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def node_types(self) -> List[str]:
+        return list(self.node_counts)
+
+    @property
+    def edge_types(self) -> List[EdgeType]:
+        return list(self.edge_indexes)
+
+    @property
+    def num_nodes_total(self) -> int:
+        return sum(self.node_counts.values())
+
+    def num_edges(self, edge_type: Optional[EdgeType] = None) -> int:
+        if edge_type is not None:
+            return int(self.edge_indexes[edge_type].shape[1])
+        return int(sum(e.shape[1] for e in self.edge_indexes.values()))
+
+    # ------------------------------------------------------------------
+    def add_edges(self, edge_type: EdgeType, edge_index: np.ndarray) -> None:
+        """Register edges of a given (src_type, relation, dst_type)."""
+        src_type, _, dst_type = edge_type
+        for t in (src_type, dst_type):
+            if t not in self.node_counts:
+                raise KeyError(f"unknown node type {t!r}")
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, E)")
+        if edge_index.size:
+            if edge_index[0].max() >= self.node_counts[src_type] or edge_index[0].min() < 0:
+                raise ValueError(f"source ids out of range for type {src_type!r}")
+            if edge_index[1].max() >= self.node_counts[dst_type] or edge_index[1].min() < 0:
+                raise ValueError(f"destination ids out of range for type {dst_type!r}")
+        if edge_type in self.edge_indexes:
+            edge_index = np.concatenate([self.edge_indexes[edge_type], edge_index], axis=1)
+        self.edge_indexes[edge_type] = edge_index
+
+    def set_features(self, node_type: str, x: np.ndarray) -> None:
+        if node_type not in self.node_counts:
+            raise KeyError(f"unknown node type {node_type!r}")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.node_counts[node_type]:
+            raise ValueError(
+                f"features for {node_type!r} must have {self.node_counts[node_type]} rows"
+            )
+        self.node_features[node_type] = x
+
+    def set_labels(self, node_type: str, y: np.ndarray) -> None:
+        if node_type not in self.node_counts:
+            raise KeyError(f"unknown node type {node_type!r}")
+        y = np.asarray(y)
+        if y.shape[0] != self.node_counts[node_type]:
+            raise ValueError("labels must cover every node of the target type")
+        self.y = y
+        self.target_type = node_type
+
+    # ------------------------------------------------------------------
+    def mean_operator(self, edge_type: EdgeType) -> sp.csr_matrix:
+        """Row-normalized (dst × src) aggregation operator for one edge type."""
+        src_type, _, dst_type = edge_type
+        edge_index = self.edge_indexes[edge_type]
+        matrix = sp.csr_matrix(
+            (np.ones(edge_index.shape[1]), (edge_index[1], edge_index[0])),
+            shape=(self.node_counts[dst_type], self.node_counts[src_type]),
+        )
+        degrees = np.asarray(matrix.sum(axis=1)).reshape(-1)
+        from repro.graph.utils import safe_reciprocal
+
+        return (sp.diags(safe_reciprocal(degrees)) @ matrix).tocsr()
+
+    def reverse(self, edge_type: EdgeType) -> EdgeType:
+        """The canonical reversed edge type."""
+        src, rel, dst = edge_type
+        return (dst, f"rev_{rel}", src)
+
+    def add_reverse_edges(self) -> None:
+        """Add a reversed copy of every edge type (for bidirectional message flow)."""
+        for edge_type in list(self.edge_indexes):
+            rev_type = self.reverse(edge_type)
+            if rev_type not in self.edge_indexes:
+                self.edge_indexes[rev_type] = self.edge_indexes[edge_type][::-1].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HeteroGraph(node_types={self.node_counts}, "
+            f"edge_types={[et[1] for et in self.edge_types]})"
+        )

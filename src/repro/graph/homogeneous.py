@@ -1,0 +1,199 @@
+"""Homogeneous attributed graphs ``G = (V, E, X)`` (survey Sec. 2.2).
+
+Used for both *instance graphs* (nodes are table rows) and *feature graphs*
+(nodes are columns).  Provides the normalized adjacency operators that the
+GNN layers in :mod:`repro.gnn` consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import utils
+
+
+class Graph:
+    """A homogeneous graph with optional node features, labels and masks.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``.
+    edge_index:
+        ``(2, E)`` integer array of (source, destination) pairs.  The graph
+        is stored as directed; use :meth:`symmetrize` for undirected
+        semantics.
+    x:
+        Optional ``(n, d)`` node-feature matrix.
+    y:
+        Optional ``(n,)`` label vector (int for classification, float for
+        regression).
+    edge_weight:
+        Optional ``(E,)`` nonnegative weights.
+    masks:
+        Optional dict of named boolean ``(n,)`` masks (train/val/test).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edge_index: np.ndarray,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        edge_weight: Optional[np.ndarray] = None,
+        masks: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be nonnegative")
+        self.num_nodes = int(num_nodes)
+        self.edge_index = utils.validate_edge_index(edge_index, self.num_nodes)
+        if x is not None:
+            x = np.asarray(x, dtype=np.float64)
+            if x.shape[0] != num_nodes:
+                raise ValueError(
+                    f"x has {x.shape[0]} rows but graph has {num_nodes} nodes"
+                )
+        self.x = x
+        if y is not None:
+            y = np.asarray(y)
+            if y.shape[0] != num_nodes:
+                raise ValueError(
+                    f"y has {y.shape[0]} entries but graph has {num_nodes} nodes"
+                )
+        self.y = y
+        if edge_weight is not None:
+            edge_weight = np.asarray(edge_weight, dtype=np.float64)
+            if edge_weight.shape != (self.edge_index.shape[1],):
+                raise ValueError("edge_weight length must equal number of edges")
+        self.edge_weight = edge_weight
+        self.masks: Dict[str, np.ndarray] = {}
+        for name, mask in (masks or {}).items():
+            self.set_mask(name, mask)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        return 0 if self.x is None else int(self.x.shape[1])
+
+    def set_mask(self, name: str, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_nodes,):
+            raise ValueError(f"mask {name!r} must have shape ({self.num_nodes},)")
+        self.masks[name] = mask
+
+    def degrees(self, direction: str = "in") -> np.ndarray:
+        row = self.edge_index[1] if direction == "in" else self.edge_index[0]
+        return np.bincount(row, minlength=self.num_nodes).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # structure transforms
+    # ------------------------------------------------------------------
+    def symmetrize(self) -> "Graph":
+        """Return an undirected copy (both edge directions, coalesced)."""
+        edge_index, edge_weight = utils.symmetrize_edge_index(
+            self.edge_index, self.edge_weight
+        )
+        return self._replace_structure(edge_index, edge_weight)
+
+    def add_self_loops(self) -> "Graph":
+        """Return a copy with one self loop (weight 1) on every node."""
+        edge_index, edge_weight = utils.remove_self_loops(
+            self.edge_index, self.edge_weight
+        )
+        loops = np.tile(np.arange(self.num_nodes, dtype=np.int64), (2, 1))
+        new_index = np.concatenate([edge_index, loops], axis=1)
+        if edge_weight is not None or self.edge_weight is not None:
+            base = edge_weight if edge_weight is not None else np.ones(edge_index.shape[1])
+            new_weight = np.concatenate([base, np.ones(self.num_nodes)])
+        else:
+            new_weight = None
+        return self._replace_structure(new_index, new_weight)
+
+    def _replace_structure(self, edge_index, edge_weight) -> "Graph":
+        return Graph(
+            self.num_nodes,
+            edge_index,
+            x=self.x,
+            y=self.y,
+            edge_weight=edge_weight,
+            masks=dict(self.masks),
+        )
+
+    # ------------------------------------------------------------------
+    # adjacency operators
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Plain (weighted) adjacency ``A`` with ``A[dst, src] = w``.
+
+        Oriented so that ``A @ X`` aggregates *incoming* messages, matching
+        the ``aggregate`` step of Sec. 2.3.
+        """
+        weights = (
+            self.edge_weight
+            if self.edge_weight is not None
+            else np.ones(self.num_edges)
+        )
+        return sp.csr_matrix(
+            (weights, (self.edge_index[1], self.edge_index[0])),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def gcn_adjacency(self) -> sp.csr_matrix:
+        """Symmetric-normalized adjacency with self loops: D^-1/2 (A+I) D^-1/2."""
+        adj = self.adjacency()
+        adj = adj + sp.eye(self.num_nodes, format="csr")
+        degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+        d_mat = sp.diags(utils.safe_reciprocal(degrees, power=0.5))
+        return (d_mat @ adj @ d_mat).tocsr()
+
+    def mean_adjacency(self, add_self_loops: bool = False) -> sp.csr_matrix:
+        """Row-normalized adjacency D^-1 A (mean aggregation, GraphSAGE)."""
+        adj = self.adjacency()
+        if add_self_loops:
+            adj = adj + sp.eye(self.num_nodes, format="csr")
+        degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+        return (sp.diags(utils.safe_reciprocal(degrees)) @ adj).tocsr()
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        if self.edge_weight is not None:
+            g.add_weighted_edges_from(
+                zip(self.edge_index[0], self.edge_index[1], self.edge_weight)
+            )
+        else:
+            g.add_edges_from(zip(self.edge_index[0], self.edge_index[1]))
+        return g
+
+    @staticmethod
+    def from_networkx(
+        g: nx.Graph,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        nodes = sorted(g.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in g.edges()]
+        if not g.is_directed():
+            edges += [(v, u) for u, v in edges]
+        edge_index = (
+            np.array(edges, dtype=np.int64).T if edges else np.zeros((2, 0), np.int64)
+        )
+        return Graph(len(nodes), edge_index, x=x, y=y)
+
+    def summary(self) -> Dict[str, object]:
+        return utils.graph_summary(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, num_features={self.num_features})"

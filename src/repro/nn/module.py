@@ -1,0 +1,144 @@
+"""``Module``/``Parameter`` abstractions (a minimal torch.nn.Module).
+
+Modules register parameters and sub-modules automatically via attribute
+assignment, support train/eval modes, parameter iteration, zeroing of
+gradients and state-dict (de)serialization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is a learnable parameter of a Module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses define parameters/sub-modules in ``__init__`` (plain attribute
+    assignment is enough) and implement ``forward``.  Calling the module
+    invokes ``forward``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute-based registration -----------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if not value.name:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- iteration -------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All unique parameters of this module and its descendants."""
+        seen: set[int] = set()
+        out: List[Parameter] = []
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                out.append(param)
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- training state ---------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- persistence -------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # -- invocation ---------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """Holds an (indexable) list of sub-modules."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._list)
+        self._list.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers don't forward
+        raise RuntimeError("ModuleList is a container and cannot be called")

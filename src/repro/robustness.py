@@ -1,0 +1,120 @@
+"""Robustness tooling (survey Sec. 6, "Dealing with Robustness Issues").
+
+The survey names four robustness axes for tabular GNNs: noise in the graph
+structure, data distribution shift, over-smoothing/overfitting, and
+adversarial perturbations.  This module provides the injection utilities
+the robustness benchmarks use:
+
+* :func:`perturb_edges` — random structural noise: delete a fraction of true
+  edges and insert the same number of spurious ones;
+* :func:`feature_shift` — covariate shift: additive mean shift on a subset
+  of columns at evaluation time;
+* :func:`oversmoothing_score` — mean pairwise cosine similarity of node
+  embeddings (1.0 = fully over-smoothed);
+* :func:`worst_case_feature_attack` — a simple gradient-free perturbation
+  that flips each test row's most influential feature by ±ε.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.homogeneous import Graph
+from repro.graph.utils import coalesce_edge_index
+
+
+def perturb_edges(
+    graph: Graph,
+    noise_rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Replace ``noise_rate`` of the edges with random spurious edges.
+
+    Deletions and insertions are balanced so degree statistics stay roughly
+    constant; inserted edges are sampled uniformly (the survey's "spurious
+    edges ... incorrect propagation" scenario).
+    """
+    if not 0.0 <= noise_rate <= 1.0:
+        raise ValueError("noise_rate must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    num_edges = graph.num_edges
+    if num_edges == 0 or noise_rate == 0.0:
+        return graph
+    num_replace = int(round(num_edges * noise_rate))
+    keep = np.ones(num_edges, dtype=bool)
+    keep[rng.choice(num_edges, size=num_replace, replace=False)] = False
+    kept = graph.edge_index[:, keep]
+    random_edges = rng.integers(0, graph.num_nodes, size=(2, num_replace))
+    loops = random_edges[0] == random_edges[1]
+    random_edges[1, loops] = (random_edges[1, loops] + 1) % graph.num_nodes
+    merged = np.concatenate([kept, random_edges], axis=1)
+    merged, _ = coalesce_edge_index(merged)
+    return Graph(graph.num_nodes, merged, x=graph.x, y=graph.y)
+
+
+def feature_shift(
+    x: np.ndarray,
+    magnitude: float,
+    column_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Additive covariate shift on a random subset of columns."""
+    if magnitude < 0:
+        raise ValueError("magnitude must be nonnegative")
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64).copy()
+    num_cols = x.shape[1]
+    shifted = rng.choice(num_cols, size=max(1, int(num_cols * column_fraction)),
+                         replace=False)
+    x[:, shifted] += magnitude
+    return x
+
+
+def oversmoothing_score(embeddings: np.ndarray) -> float:
+    """Mean pairwise cosine similarity; → 1 as representations collapse."""
+    z = np.asarray(embeddings, dtype=np.float64)
+    norms = np.linalg.norm(z, axis=1, keepdims=True)
+    normed = z / np.maximum(norms, 1e-12)
+    sim = normed @ normed.T
+    n = len(z)
+    if n < 2:
+        raise ValueError("need at least two embeddings")
+    off_diagonal = sim.sum() - np.trace(sim)
+    return float(off_diagonal / (n * (n - 1)))
+
+
+def worst_case_feature_attack(
+    x: np.ndarray,
+    predict_proba,
+    y: np.ndarray,
+    epsilon: float,
+    num_probe: int = 4,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Gradient-free per-row attack: probe a few columns with ±ε and keep the
+    perturbation that most reduces the true-class probability.
+
+    ``predict_proba`` maps an ``(n, d)`` matrix to ``(n, C)`` probabilities.
+    Returns the perturbed feature matrix (at most one column changed/row).
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be nonnegative")
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    base = predict_proba(x)[np.arange(len(y)), y]
+    best_x = x.copy()
+    best_drop = np.zeros(len(y))
+    columns = rng.choice(x.shape[1], size=min(num_probe, x.shape[1]), replace=False)
+    for col in columns:
+        for sign in (+1.0, -1.0):
+            candidate = x.copy()
+            candidate[:, col] += sign * epsilon
+            probs = predict_proba(candidate)[np.arange(len(y)), y]
+            drop = base - probs
+            improved = drop > best_drop
+            best_x[improved] = candidate[improved]
+            best_drop = np.maximum(best_drop, drop)
+    return best_x

@@ -1,0 +1,72 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the computational substrate for the whole library: a
+small but complete autograd engine (:class:`~repro.tensor.autograd.Tensor`)
+plus the sparse and segment operations that graph neural networks need
+(``spmm``, ``gather_rows``, ``segment_sum``, ``segment_softmax``).
+
+The paper's methods are all expressible with dense matmul, sparse-dense
+matmul, per-edge gather/scatter and standard elementwise math, so this
+engine substitutes for PyTorch/PyG without changing any algorithmic
+behaviour.
+"""
+
+from repro.tensor.autograd import Tensor, no_grad, is_grad_enabled
+from repro.tensor import init
+from repro.tensor.ops import (
+    add,
+    concat,
+    dropout_mask,
+    exp,
+    gather_rows,
+    leaky_relu,
+    log,
+    log_softmax,
+    matmul,
+    maximum,
+    mean,
+    mul,
+    relu,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    softmax,
+    spmm,
+    stack,
+    sum as tsum,
+    tanh,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "init",
+    "add",
+    "concat",
+    "dropout_mask",
+    "exp",
+    "gather_rows",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "matmul",
+    "maximum",
+    "mean",
+    "mul",
+    "relu",
+    "segment_max",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "sigmoid",
+    "softmax",
+    "spmm",
+    "stack",
+    "tsum",
+    "tanh",
+    "where",
+]

@@ -1,0 +1,73 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the library is exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+
+
+def _fan_in_fan_out(shape: tuple) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out
+
+
+def zeros(shape, requires_grad: bool = True) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = True) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def constant(shape, value: float, requires_grad: bool = True) -> Tensor:
+    return Tensor(np.full(shape, float(value)), requires_grad=requires_grad)
+
+
+def uniform(shape, low: float, high: float, rng: np.random.Generator,
+            requires_grad: bool = True) -> Tensor:
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=requires_grad)
+
+
+def normal(shape, std: float, rng: np.random.Generator,
+           requires_grad: bool = True) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=requires_grad)
+
+
+def glorot_uniform(shape, rng: np.random.Generator, gain: float = 1.0,
+                   requires_grad: bool = True) -> Tensor:
+    """Xavier/Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, rng, requires_grad=requires_grad)
+
+
+def glorot_normal(shape, rng: np.random.Generator, gain: float = 1.0,
+                  requires_grad: bool = True) -> Tensor:
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return normal(shape, std, rng, requires_grad=requires_grad)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator,
+                    requires_grad: bool = True) -> Tensor:
+    """He uniform init for ReLU networks: U(-a, a), a = sqrt(6 / fan_in)."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform(shape, -bound, bound, rng, requires_grad=requires_grad)
+
+
+def kaiming_normal(shape, rng: np.random.Generator,
+                   requires_grad: bool = True) -> Tensor:
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return normal(shape, std, rng, requires_grad=requires_grad)

@@ -1,0 +1,54 @@
+"""Training plans (survey Sec. 4.4): learning tasks and training strategies.
+
+* :mod:`repro.training.trainer` — full-batch semi-supervised trainer with
+  early stopping.
+* :mod:`repro.training.tasks` — auxiliary learning tasks (Table 7): feature
+  reconstruction, denoising autoencoder, contrastive learning, graph
+  smoothness / degree / sparsity regularizers.
+* :mod:`repro.training.strategies` — training strategies (Table 8):
+  end-to-end, two-stage, pretrain-finetune, alternating aux-weight
+  adaptation, adversarial reconstruction, bi-level alternation.
+"""
+
+from repro.training.trainer import Trainer, TrainResult
+from repro.training.tasks import (
+    ContrastiveTask,
+    DenoisingAutoencoderTask,
+    FeatureReconstructionTask,
+    degree_regularizer,
+    smoothness_regularizer,
+    sparsity_regularizer,
+)
+from repro.training.ssl import (
+    GraphClusteringTask,
+    GraphCompletionTask,
+    NeighborhoodPredictionTask,
+)
+from repro.training.strategies import (
+    train_alternating,
+    train_adversarial_reconstruction,
+    train_bilevel,
+    train_end_to_end,
+    train_pretrain_finetune,
+    train_two_stage,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainResult",
+    "ContrastiveTask",
+    "DenoisingAutoencoderTask",
+    "FeatureReconstructionTask",
+    "degree_regularizer",
+    "smoothness_regularizer",
+    "sparsity_regularizer",
+    "GraphClusteringTask",
+    "GraphCompletionTask",
+    "NeighborhoodPredictionTask",
+    "train_alternating",
+    "train_adversarial_reconstruction",
+    "train_bilevel",
+    "train_end_to_end",
+    "train_pretrain_finetune",
+    "train_two_stage",
+]

@@ -1,0 +1,165 @@
+"""Graph-based self-supervised tasks from the survey's Sec. 6 proposals.
+
+The survey sketches six SSL tasks for tabular graphs ("Graph-based SSL for
+Tabular Data"); this module implements the structural ones that complement
+the feature-space tasks in :mod:`repro.training.tasks`:
+
+* :class:`GraphCompletionTask` — predict held-out edges from embeddings
+  (the "Graph Completion" proposal; link-prediction auxiliary);
+* :class:`NeighborhoodPredictionTask` — classify whether two nodes are
+  neighbors from their embeddings (the "Neighborhood Prediction" proposal);
+* :class:`GraphClusteringTask` — pull same-cluster embeddings together
+  around learnable centroids (the "Graph Clustering" proposal, DEC-style).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+
+
+def _sample_negative_pairs(
+    num_nodes: int, count: int, existing: set, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` node pairs that are not in ``existing``."""
+    pairs = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        i = int(rng.integers(0, num_nodes))
+        j = int(rng.integers(0, num_nodes))
+        attempts += 1
+        if i == j or (i, j) in existing:
+            continue
+        pairs.append((i, j))
+    if not pairs:
+        raise RuntimeError("could not sample negative pairs; graph too dense")
+    return np.array(pairs, dtype=np.int64).T
+
+
+class GraphCompletionTask(nn.Module):
+    """Link-prediction auxiliary: score held-out positive edges above negatives.
+
+    Each call holds out a random subset of edges, scores pairs with a
+    bilinear product of embeddings, and applies logistic loss against
+    sampled non-edges.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        edge_index: np.ndarray,
+        rng: np.random.Generator,
+        holdout: float = 0.3,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < holdout <= 1.0:
+            raise ValueError("holdout must be in (0, 1]")
+        self.edge_index = np.asarray(edge_index, dtype=np.int64)
+        if self.edge_index.shape[1] == 0:
+            raise ValueError("graph has no edges to complete")
+        self.holdout = holdout
+        self.bilinear = nn.Linear(embed_dim, embed_dim, rng, bias=False)
+        self._rng = rng
+        self._edge_set = set(map(tuple, self.edge_index.T))
+
+    def loss(self, embeddings: Tensor) -> Tensor:
+        num_edges = self.edge_index.shape[1]
+        take = max(1, int(num_edges * self.holdout))
+        pick = self._rng.choice(num_edges, size=take, replace=False)
+        positives = self.edge_index[:, pick]
+        negatives = _sample_negative_pairs(
+            embeddings.shape[0], take, self._edge_set, self._rng
+        )
+        pairs = np.concatenate([positives, negatives], axis=1)
+        labels = np.concatenate([np.ones(positives.shape[1]),
+                                 np.zeros(negatives.shape[1])])
+        zi = ops.gather_rows(embeddings, pairs[0])
+        zj = ops.gather_rows(embeddings, pairs[1])
+        logits = ops.sum(ops.mul(self.bilinear(zi), zj), axis=1)
+        return nn.binary_cross_entropy_with_logits(logits, labels)
+
+
+class NeighborhoodPredictionTask(nn.Module):
+    """Classify (node, candidate) pairs as neighbor / non-neighbor.
+
+    Unlike :class:`GraphCompletionTask` the pair representation is a
+    concatenation through an MLP, letting the auxiliary learn asymmetric
+    neighborhood structure.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        edge_index: np.ndarray,
+        rng: np.random.Generator,
+        samples_per_call: int = 256,
+    ) -> None:
+        super().__init__()
+        self.edge_index = np.asarray(edge_index, dtype=np.int64)
+        if self.edge_index.shape[1] == 0:
+            raise ValueError("graph has no edges")
+        self.samples_per_call = samples_per_call
+        self.scorer = nn.MLP(2 * embed_dim, (embed_dim,), 1, rng)
+        self._rng = rng
+        self._edge_set = set(map(tuple, self.edge_index.T))
+
+    def loss(self, embeddings: Tensor) -> Tensor:
+        take = min(self.samples_per_call, self.edge_index.shape[1])
+        pick = self._rng.choice(self.edge_index.shape[1], size=take, replace=False)
+        positives = self.edge_index[:, pick]
+        negatives = _sample_negative_pairs(
+            embeddings.shape[0], take, self._edge_set, self._rng
+        )
+        pairs = np.concatenate([positives, negatives], axis=1)
+        labels = np.concatenate([np.ones(take), np.zeros(negatives.shape[1])])
+        zi = ops.gather_rows(embeddings, pairs[0])
+        zj = ops.gather_rows(embeddings, pairs[1])
+        logits = self.scorer(ops.concat([zi, zj], axis=1)).reshape(-1)
+        return nn.binary_cross_entropy_with_logits(logits, labels)
+
+
+class GraphClusteringTask(nn.Module):
+    """DEC-style clustering auxiliary: sharpen soft assignments to centroids.
+
+    Maintains ``num_clusters`` learnable centroids; the loss is the KL
+    divergence between the soft assignment of embeddings to centroids and
+    its sharpened (squared-and-renormalized) target distribution, pulling
+    embeddings toward well-separated clusters.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_clusters: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if num_clusters < 2:
+            raise ValueError("need at least two clusters")
+        self.centroids = nn.Parameter(rng.normal(0.0, 0.5, size=(num_clusters, embed_dim)))
+        self.num_clusters = num_clusters
+
+    def soft_assignments(self, embeddings: Tensor) -> Tensor:
+        """Student-t soft assignment q_ik (rows sum to 1)."""
+        n = embeddings.shape[0]
+        z = embeddings.reshape(n, 1, embeddings.shape[1])
+        c = self.centroids.reshape(1, self.num_clusters, self.centroids.shape[1])
+        diff = ops.sub(z, c)
+        sq = ops.sum(ops.mul(diff, diff), axis=2)  # (n, k)
+        kernel = ops.power(ops.add(Tensor(1.0), sq), -1.0)
+        total = ops.sum(kernel, axis=1, keepdims=True)
+        return ops.div(kernel, total)
+
+    def loss(self, embeddings: Tensor) -> Tensor:
+        q = self.soft_assignments(embeddings)
+        # Sharpened target: p ∝ q^2 / cluster mass, treated as a constant.
+        q_data = q.data
+        weight = q_data**2 / np.maximum(q_data.sum(axis=0, keepdims=True), 1e-12)
+        p = weight / np.maximum(weight.sum(axis=1, keepdims=True), 1e-12)
+        log_q = ops.log(ops.add(q, Tensor(1e-12)))
+        # KL(p || q) up to the constant entropy of p.
+        return ops.neg(ops.mean(ops.sum(ops.mul(Tensor(p), log_q), axis=1)))

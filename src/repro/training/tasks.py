@@ -1,0 +1,163 @@
+"""Auxiliary learning tasks (survey Sec. 4.4.1, Table 7).
+
+Each task is a module producing an extra differentiable loss term that is
+*added* to the main supervised loss:
+
+* :class:`FeatureReconstructionTask` — decode embeddings back to the input
+  features (GINN / GRAPE / ALLG family; "Representation Enhancement").
+* :class:`DenoisingAutoencoderTask` — corrupt features, reconstruct the
+  corrupted entries from the graph-encoded representation (SLAPS / HES-GSL).
+* :class:`ContrastiveTask` — NT-Xent over two stochastically corrupted
+  views (SUBLIME / TabGSL / SSGNet).
+* Regularizers — Dirichlet smoothness, degree/connectivity and sparsity
+  penalties on (learned) graph structures (IDGL / Table2Graph / ALLG).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, ops
+
+
+class FeatureReconstructionTask(nn.Module):
+    """Reconstruct input features from embeddings via a linear decoder.
+
+    ``loss(embeddings)`` returns the MSE between decoded features and the
+    (observed entries of the) original features.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_features: int,
+        rng: np.random.Generator,
+        target: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.decoder = nn.Linear(embed_dim, num_features, rng)
+        self.target = None if target is None else np.asarray(target, dtype=np.float64)
+
+    def loss(self, embeddings: Tensor, target: Optional[np.ndarray] = None) -> Tensor:
+        y = target if target is not None else self.target
+        if y is None:
+            raise ValueError("no reconstruction target provided")
+        observed = ~np.isnan(y)
+        decoded = self.decoder(embeddings)
+        diff = ops.sub(decoded, Tensor(np.nan_to_num(y, nan=0.0)))
+        masked = ops.mul(diff, Tensor(observed.astype(np.float64)))
+        return ops.div(
+            ops.sum(ops.mul(masked, masked)), Tensor(float(max(1, observed.sum())))
+        )
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        return self.decoder(embeddings)
+
+
+class DenoisingAutoencoderTask(nn.Module):
+    """SLAPS-style denoising: zero a random subset of feature cells, push the
+    corrupted view through the encoder, and reconstruct the *corrupted*
+    entries only.
+
+    ``encoder_embed`` must accept a replacement feature tensor (all Table 5
+    networks do via ``embed(x=...)``).
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        features: np.ndarray,
+        rng: np.random.Generator,
+        mask_rate: float = 0.2,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < mask_rate < 1.0:
+            raise ValueError("mask_rate must be in (0, 1)")
+        self.features = np.asarray(features, dtype=np.float64)
+        self.decoder = nn.Linear(embed_dim, self.features.shape[1], rng)
+        self.mask_rate = mask_rate
+        self._rng = rng
+
+    def loss(self, encoder_embed: Callable[[Tensor], Tensor]) -> Tensor:
+        corrupt = self._rng.random(self.features.shape) < self.mask_rate
+        corrupted = np.where(corrupt, 0.0, self.features)
+        z = encoder_embed(Tensor(corrupted))
+        decoded = self.decoder(z)
+        diff = ops.sub(decoded, Tensor(self.features))
+        masked = ops.mul(diff, Tensor(corrupt.astype(np.float64)))
+        return ops.div(
+            ops.sum(ops.mul(masked, masked)), Tensor(float(max(1, corrupt.sum())))
+        )
+
+
+class ContrastiveTask(nn.Module):
+    """Two-view NT-Xent contrastive auxiliary (SUBLIME/TabGSL style).
+
+    Views are created by independent random feature masking (SCARF-style
+    corruption); both views pass through the same graph encoder, then a
+    projection head, and matching rows are pulled together.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        features: np.ndarray,
+        rng: np.random.Generator,
+        mask_rate: float = 0.2,
+        projection_dim: int = 32,
+        temperature: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self.features = np.asarray(features, dtype=np.float64)
+        self.projection = nn.MLP(embed_dim, (projection_dim,), projection_dim, rng)
+        self.mask_rate = mask_rate
+        self.temperature = temperature
+        self._rng = rng
+
+    def _view(self) -> Tensor:
+        mask = self._rng.random(self.features.shape) < self.mask_rate
+        return Tensor(np.where(mask, 0.0, self.features))
+
+    def loss(self, encoder_embed: Callable[[Tensor], Tensor]) -> Tensor:
+        z1 = self.projection(encoder_embed(self._view()))
+        z2 = self.projection(encoder_embed(self._view()))
+        return nn.nt_xent_loss(z1, z2, temperature=self.temperature)
+
+
+# ----------------------------------------------------------------------
+# graph regularizers (Table 7: "Graph Regularization" / "Sparsity")
+# ----------------------------------------------------------------------
+def smoothness_regularizer(embeddings: Tensor, edge_index: np.ndarray,
+                           edge_weight: Optional[np.ndarray] = None) -> Tensor:
+    """Dirichlet energy: mean squared embedding difference across edges.
+
+    Penalizing it encourages adjacent nodes to have similar embeddings —
+    the "reducing adjacent nodes' embeddings" regularizer of IDGL/GraphFC.
+    """
+    if edge_index.size == 0:
+        return Tensor(0.0)
+    zi = ops.gather_rows(embeddings, edge_index[0])
+    zj = ops.gather_rows(embeddings, edge_index[1])
+    diff = ops.sub(zi, zj)
+    sq = ops.sum(ops.mul(diff, diff), axis=1)
+    if edge_weight is not None:
+        sq = ops.mul(sq, Tensor(np.asarray(edge_weight, dtype=np.float64)))
+    return ops.mean(sq)
+
+
+def degree_regularizer(dense_adjacency: Tensor, eps: float = 1e-8) -> Tensor:
+    """Connectivity penalty ``-mean(log(degree))`` for learned dense graphs.
+
+    Prevents the degenerate all-zero adjacency that pure sparsity pressure
+    produces (IDGL's log-barrier on node degrees).
+    """
+    degrees = ops.sum(dense_adjacency, axis=1)
+    return ops.neg(ops.mean(ops.log(ops.add(degrees, Tensor(eps)))))
+
+
+def sparsity_regularizer(dense_adjacency: Tensor) -> Tensor:
+    """L1 sparsity: mean absolute edge weight (Table2Graph)."""
+    return ops.mean(ops.absolute(dense_adjacency))

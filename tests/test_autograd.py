@@ -1,0 +1,335 @@
+"""Unit tests for the autograd engine: every op checked against finite differences."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, no_grad, ops
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of scalar-valued fn."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x_data, tol=1e-5, **kwargs):
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = op(x, **kwargs)
+    loss = ops.sum(ops.mul(out, out))
+    loss.backward()
+
+    def scalar_fn(arr):
+        return float((op(Tensor(arr), **kwargs).data ** 2).sum())
+
+    expected = numeric_grad(scalar_fn, x_data.copy())
+    np.testing.assert_allclose(x.grad, expected, rtol=tol, atol=tol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwiseGrads:
+    def test_add_broadcast(self):
+        a = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        out = ops.sum(ops.add(a, b))
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_mul_grads(self):
+        a_data = RNG.normal(size=(5, 2))
+        b_data = RNG.normal(size=(5, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ops.sum(ops.mul(a, b)).backward()
+        np.testing.assert_allclose(a.grad, b_data)
+        np.testing.assert_allclose(b.grad, a_data)
+
+    def test_div_grad(self):
+        a_data = RNG.normal(size=(4,)) + 3.0
+        b_data = RNG.normal(size=(4,)) + 3.0
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ops.sum(ops.div(a, b)).backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b_data)
+        np.testing.assert_allclose(b.grad, -a_data / b_data**2)
+
+    @pytest.mark.parametrize(
+        "op",
+        [ops.exp, ops.tanh, ops.sigmoid, ops.relu, ops.leaky_relu, ops.elu, ops.absolute],
+    )
+    def test_unary_against_numeric(self, op):
+        x = RNG.normal(size=(6, 3)) + 0.05  # offset avoids kinks at 0
+        check_unary(op, x)
+
+    def test_log_grad(self):
+        x = np.abs(RNG.normal(size=(5,))) + 0.5
+        check_unary(ops.log, x)
+
+    def test_power_grad(self):
+        x = np.abs(RNG.normal(size=(5,))) + 0.5
+        check_unary(lambda t: ops.power(t, 3.0), x)
+
+    def test_sqrt_at_positive(self):
+        x = np.abs(RNG.normal(size=(5,))) + 0.5
+        check_unary(lambda t: ops.power(t, 0.5), x)
+
+    def test_maximum_grad_routes_to_larger(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_clip_grad(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        ops.sum(ops.clip(x, -1.0, 1.0)).backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        ops.sum(ops.where(cond, a, b)).backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self):
+        a_data = RNG.normal(size=(3, 4))
+        b_data = RNG.normal(size=(4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        out = ops.matmul(a, b)
+        g = RNG.normal(size=(3, 2))
+        ops.sum(ops.mul(out, Tensor(g))).backward()
+        np.testing.assert_allclose(a.grad, g @ b_data.T)
+        np.testing.assert_allclose(b.grad, a_data.T @ g)
+
+    def test_matmul_batched(self):
+        a_data = RNG.normal(size=(2, 3, 4))
+        b_data = RNG.normal(size=(2, 4, 5))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ops.sum(ops.matmul(a, b)).backward()
+        ones = np.ones((2, 3, 5))
+        np.testing.assert_allclose(a.grad, ones @ np.swapaxes(b_data, -1, -2))
+        np.testing.assert_allclose(b.grad, np.swapaxes(a_data, -1, -2) @ ones)
+
+    def test_spmm_matches_dense(self):
+        dense = (RNG.random((5, 5)) < 0.4).astype(float)
+        matrix = sp.csr_matrix(dense)
+        x_data = RNG.normal(size=(5, 3))
+        x = Tensor(x_data, requires_grad=True)
+        out = ops.spmm(matrix, x)
+        np.testing.assert_allclose(out.data, dense @ x_data)
+        g = RNG.normal(size=(5, 3))
+        ops.sum(ops.mul(out, Tensor(g))).backward()
+        np.testing.assert_allclose(x.grad, dense.T @ g)
+
+
+class TestSoftmaxGrads:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        out = ops.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_softmax_grad_numeric(self):
+        x = RNG.normal(size=(3, 4))
+        check_unary(lambda t: ops.softmax(t, axis=-1), x)
+
+    def test_log_softmax_grad_numeric(self):
+        x = RNG.normal(size=(3, 4))
+        check_unary(lambda t: ops.log_softmax(t, axis=-1), x)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), atol=1e-10
+        )
+
+
+class TestReductionGrads:
+    def test_sum_axis(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        ops.sum(ops.sum(x, axis=0)).backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_grad(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        ops.mean(x).backward()
+        np.testing.assert_allclose(x.grad, np.full((3, 4), 1.0 / 12.0))
+
+    def test_mean_axis_keepdims(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        out = ops.mean(x, axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(x.grad, np.full((3, 4), 0.25))
+
+    def test_max_grad_goes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 3.0], [5.0, 2.0]]), requires_grad=True)
+        ops.sum(ops.max(x, axis=1)).backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        ops.sum(ops.max(x, axis=1)).backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        x = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        out = x.reshape(3, 4)
+        ops.sum(ops.mul(out, out)).backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+    def test_transpose_grad(self):
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        ops.sum(ops.mul(ops.transpose(x), Tensor(np.ones((3, 2))))).backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_concat_splits_grad(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        g = RNG.normal(size=(6, 3))
+        ops.sum(ops.mul(out, Tensor(g))).backward()
+        np.testing.assert_allclose(a.grad, g[:2])
+        np.testing.assert_allclose(b.grad, g[2:])
+
+    def test_stack_grad(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_getitem_slice_grad(self):
+        x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        ops.sum(x[1:3]).backward()
+        expected = np.zeros((5, 3))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestGatherScatter:
+    def test_gather_rows_duplicates_accumulate(self):
+        x = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        idx = np.array([0, 0, 3])
+        out = ops.gather_rows(x, idx)
+        ops.sum(out).backward()
+        expected = np.zeros((4, 2))
+        expected[0] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_segment_sum_forward_and_grad(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(4, 2), requires_grad=True)
+        seg = np.array([0, 1, 0, 2])
+        out = ops.segment_sum(x, seg, 3)
+        np.testing.assert_allclose(out.data, [[4.0, 6.0], [2.0, 3.0], [6.0, 7.0]])
+        g = RNG.normal(size=(3, 2))
+        ops.sum(ops.mul(out, Tensor(g))).backward()
+        np.testing.assert_allclose(x.grad, g[seg])
+
+    def test_segment_mean_handles_empty_segment(self):
+        x = Tensor(np.ones((2, 3)))
+        out = ops.segment_mean(x, np.array([0, 0]), 2)
+        np.testing.assert_allclose(out.data[0], np.ones(3))
+        np.testing.assert_allclose(out.data[1], np.zeros(3))
+
+    def test_segment_softmax_normalizes_per_segment(self):
+        scores = Tensor(RNG.normal(size=(6,)), requires_grad=True)
+        seg = np.array([0, 0, 1, 1, 1, 2])
+        out = ops.segment_softmax(scores, seg, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, seg, out.data)
+        np.testing.assert_allclose(sums, np.ones(3), atol=1e-12)
+
+    def test_segment_softmax_grad_numeric(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        x_data = RNG.normal(size=(5,))
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        out = ops.segment_softmax(x, seg, 2)
+        ops.sum(ops.mul(out, out)).backward()
+
+        def scalar_fn(arr):
+            return float((ops.segment_softmax(Tensor(arr), seg, 2).data ** 2).sum())
+
+        expected = numeric_grad(scalar_fn, x_data.copy())
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-5, atol=1e-6)
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_recording(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = ops.mul(x, x)
+        assert not out.requires_grad
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = ops.mul(x, x)
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(x.grad, 2 * np.ones((2, 2)))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        ops.sum(x).backward()
+        ops.sum(x).backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = ops.mul(x, x).detach()
+        z = ops.sum(ops.mul(Tensor.ensure(y), Tensor(np.ones(2))))
+        assert not z.requires_grad
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # f(x) = sum(x*x + x*x) => grad = 4x
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = ops.mul(x, x)
+        z = ops.add(y, y)
+        ops.sum(z).backward()
+        np.testing.assert_allclose(x.grad, 4 * x.data)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        out = x
+        for _ in range(3000):
+            out = ops.add(out, Tensor(0.0))
+        ops.sum(out).backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_operator_sugar(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 3 + 1) / 2 - 0.5
+        y.backward()
+        np.testing.assert_allclose(y.data, [3.0])
+        np.testing.assert_allclose(x.grad, [1.5])
+
+    def test_pow_operator(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x**2).backward()
+        np.testing.assert_allclose(x.grad, [6.0])

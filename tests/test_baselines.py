@@ -1,0 +1,238 @@
+"""Unit tests for the structure-blind baselines and imputers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    IterativeImputer,
+    KNNClassifier,
+    KNNImputer,
+    LogisticRegressionClassifier,
+    MeanImputer,
+    MedianImputer,
+    MLPClassifier,
+    MLPRegressor,
+    RandomForestClassifier,
+    RidgeRegression,
+)
+from repro.datasets import make_classification, make_feature_interaction
+from repro.metrics import accuracy
+
+RNG = np.random.default_rng(51)
+
+
+def separable_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(np.int64)
+    return x, y
+
+
+class TestLogistic:
+    def test_fits_separable(self):
+        x, y = separable_data()
+        clf = LogisticRegressionClassifier().fit(x, y)
+        assert accuracy(y, clf.predict(x)) > 0.9
+
+    def test_probabilities_sum_to_one(self):
+        x, y = separable_data()
+        probs = LogisticRegressionClassifier().fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_cannot_fit_xor(self):
+        x, y = xor_data()
+        clf = LogisticRegressionClassifier().fit(x, y)
+        assert accuracy(y, clf.predict(x)) < 0.65
+
+    def test_multiclass(self):
+        ds = make_classification(n=200, num_classes=3, class_sep=2.0, seed=0)
+        clf = LogisticRegressionClassifier().fit(ds.numerical, ds.y)
+        assert accuracy(ds.y, clf.predict(ds.numerical)) > 0.7
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.ones((2, 2)))
+
+
+class TestRidge:
+    def test_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 3))
+        coef = np.array([2.0, -1.0, 0.5])
+        y = x @ coef + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-2)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-2)
+
+    def test_alpha_shrinks(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 2))
+        y = x[:, 0] * 5
+        small = RidgeRegression(alpha=1e-6).fit(x, y)
+        large = RidgeRegression(alpha=1e3).fit(x, y)
+        assert abs(large.coef_[0]) < abs(small.coef_[0])
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestMLPBaselines:
+    def test_classifier_fits_xor(self):
+        x, y = xor_data()
+        clf = MLPClassifier(hidden_dims=(32,), epochs=300, seed=0).fit(x, y)
+        assert accuracy(y, clf.predict(x)) > 0.85
+
+    def test_regressor_fits_linear(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = x @ np.array([1.0, -2.0, 0.5])
+        model = MLPRegressor(hidden_dims=(16,), epochs=300, seed=0).fit(x, y)
+        pred = model.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_classifier_label_mapping(self):
+        x, y = separable_data()
+        shifted = y + 5  # labels {5, 6}
+        clf = MLPClassifier(epochs=100, seed=0).fit(x, shifted)
+        assert set(np.unique(clf.predict(x))) <= {5, 6}
+
+
+class TestKNNClassifier:
+    def test_fits_local_structure(self):
+        x, y = xor_data(300)
+        clf = KNNClassifier(k=7).fit(x, y)
+        assert accuracy(y, clf.predict(x)) > 0.85
+
+    def test_k_larger_than_train_raises(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=10).fit(np.ones((5, 2)), np.zeros(5, dtype=int))
+
+    def test_weighted_voting(self):
+        x, y = separable_data()
+        clf = KNNClassifier(k=5, weighted=True).fit(x, y)
+        assert accuracy(y, clf.predict(x)) > 0.85
+
+
+class TestTrees:
+    def test_tree_fits_xor(self):
+        x, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert accuracy(y, tree.predict(x)) > 0.9
+
+    def test_max_depth_respected(self):
+        x, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_pure_leaf_stops(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0, 0])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.root_.is_leaf
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = xor_data(100)
+        probs = DecisionTreeClassifier(max_depth=3).fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_regressor_fits_step_function(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.abs(pred - y).max() < 1.0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+
+class TestEnsembles:
+    def test_forest_beats_stump_on_interactions(self):
+        ds = make_feature_interaction(n=500, seed=0)
+        x, y = ds.numerical, ds.y
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        forest = RandomForestClassifier(num_trees=15, max_depth=6, seed=0).fit(x, y)
+        assert accuracy(y, forest.predict(x)) > accuracy(y, stump.predict(x))
+
+    def test_gbdt_fits_xor(self):
+        x, y = xor_data(300)
+        gbdt = GradientBoostingClassifier(num_rounds=25, max_depth=3, seed=0).fit(x, y)
+        assert accuracy(y, gbdt.predict(x)) > 0.9
+
+    def test_gbdt_multiclass(self):
+        ds = make_classification(n=200, num_classes=3, class_sep=2.0, seed=0)
+        gbdt = GradientBoostingClassifier(num_rounds=15, seed=0).fit(ds.numerical, ds.y)
+        assert accuracy(ds.y, gbdt.predict(ds.numerical)) > 0.8
+
+    def test_gbdt_proba_normalized(self):
+        x, y = separable_data(100)
+        probs = GradientBoostingClassifier(num_rounds=5, seed=0).fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+
+class TestImputers:
+    def table_with_missing(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 4))
+        x[:, 1] = x[:, 0] * 2 + 0.01 * rng.normal(size=60)  # strong correlation
+        missing = x.copy()
+        missing[rng.random((60, 4)) < 0.2] = np.nan
+        return x, missing
+
+    def test_mean_imputer_exact(self):
+        x = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        filled = MeanImputer().fit_transform(x)
+        assert filled[0, 1] == pytest.approx(6.0)
+        assert filled[2, 0] == pytest.approx(2.0)
+
+    def test_median_imputer_exact(self):
+        x = np.array([[1.0], [np.nan], [100.0], [3.0]])
+        assert MedianImputer().fit_transform(x)[1, 0] == pytest.approx(3.0)
+
+    def test_all_nan_column_falls_back_to_zero(self):
+        x = np.array([[np.nan], [np.nan]])
+        np.testing.assert_allclose(MeanImputer().fit_transform(x), 0.0)
+
+    def test_knn_imputer_no_nan_left(self):
+        _, missing = self.table_with_missing()
+        filled = KNNImputer(k=3).fit_transform(missing)
+        assert not np.isnan(filled).any()
+
+    def test_iterative_beats_mean_on_correlated(self):
+        truth, missing = self.table_with_missing()
+        mask = np.isnan(missing)
+        mean_err = np.abs(MeanImputer().fit_transform(missing)[mask] - truth[mask]).mean()
+        iter_err = np.abs(IterativeImputer().fit_transform(missing)[mask] - truth[mask]).mean()
+        assert iter_err < mean_err
+
+    def test_iterative_complete_table_unchanged(self):
+        x = RNG.normal(size=(10, 3))
+        np.testing.assert_allclose(IterativeImputer().fit_transform(x), x)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNImputer(k=0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MeanImputer().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            KNNImputer().transform(np.ones((2, 2)))

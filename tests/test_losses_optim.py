@@ -1,0 +1,224 @@
+"""Unit tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, ops
+
+RNG = np.random.default_rng(3)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = RNG.normal(size=(6, 3))
+        targets = RNG.integers(0, 3, size=6)
+        loss = nn.cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(6), targets].mean()
+        assert loss == pytest.approx(manual, rel=1e-10)
+
+    def test_uniform_logits_give_log_c(self):
+        loss = nn.cross_entropy(Tensor(np.zeros((4, 5))), np.zeros(4, dtype=int)).item()
+        assert loss == pytest.approx(np.log(5), rel=1e-10)
+
+    def test_mask_restricts_rows(self):
+        logits = RNG.normal(size=(4, 2))
+        targets = np.array([0, 1, 0, 1])
+        mask = np.array([True, False, True, False])
+        masked = nn.cross_entropy(Tensor(logits), targets, mask=mask).item()
+        manual = nn.cross_entropy(Tensor(logits[mask]), targets[mask]).item()
+        assert masked == pytest.approx(manual, rel=1e-10)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros((2, 2))), np.zeros(2, dtype=int),
+                             mask=np.zeros(2, dtype=bool))
+
+    def test_class_weights_scale_loss(self):
+        logits = Tensor(np.zeros((2, 2)))
+        targets = np.array([0, 1])
+        weighted = nn.cross_entropy(logits, targets, class_weights=np.array([2.0, 0.0]))
+        assert weighted.item() == pytest.approx(np.log(2), rel=1e-10)
+
+    def test_invalid_labels_raise(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 2]))
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        nn.cross_entropy(logits, targets).backward()
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3, atol=1e-10)
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        logits = RNG.normal(size=10)
+        targets = RNG.integers(0, 2, size=10).astype(float)
+        loss = nn.binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        probs = 1 / (1 + np.exp(-logits))
+        manual = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert loss == pytest.approx(manual, rel=1e-8)
+
+    def test_stable_at_extreme_logits(self):
+        logits = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        loss = nn.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_pos_weight_upweights_positives(self):
+        logits = Tensor(np.zeros(2))
+        targets = np.array([1.0, 0.0])
+        base = nn.binary_cross_entropy_with_logits(logits, targets).item()
+        up = nn.binary_cross_entropy_with_logits(logits, targets, pos_weight=3.0).item()
+        assert up == pytest.approx(base * 2.0, rel=1e-10)  # (3+1)/2 over (1+1)/2
+
+
+class TestRegressionLosses:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert nn.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_mae(self):
+        pred = Tensor(np.array([1.0, -3.0]))
+        assert nn.mae_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.0)
+
+    def test_huber_quadratic_then_linear(self):
+        pred = Tensor(np.array([0.5, 3.0]))
+        loss = nn.huber_loss(pred, np.array([0.0, 0.0]), delta=1.0).item()
+        assert loss == pytest.approx((0.5 * 0.25 + (3.0 - 0.5)) / 2)
+
+    def test_2d_predictions_average_over_features(self):
+        pred = Tensor(np.ones((2, 3)))
+        assert nn.mse_loss(pred, np.zeros((2, 3))).item() == pytest.approx(1.0)
+
+
+class TestNTXent:
+    def test_identical_views_have_low_loss(self):
+        z = RNG.normal(size=(16, 8))
+        same = nn.nt_xent_loss(Tensor(z), Tensor(z), temperature=0.1).item()
+        other = nn.nt_xent_loss(
+            Tensor(z), Tensor(RNG.normal(size=(16, 8))), temperature=0.1
+        ).item()
+        assert same < other
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(ValueError):
+            nn.nt_xent_loss(Tensor(np.ones((4, 2))), Tensor(np.ones((5, 2))))
+
+    def test_gradient_flows(self):
+        z1 = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+        z2 = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+        nn.nt_xent_loss(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None
+
+
+def quadratic_problem():
+    """min ||w - target||^2, a 1-parameter sanity problem."""
+    target = np.array([3.0, -2.0, 0.5])
+    w = Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = ops.sub(w, Tensor(target))
+        return ops.sum(ops.mul(diff, diff))
+
+    return w, target, loss_fn
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        w, target, loss_fn = quadratic_problem()
+        opt = nn.SGD([w], lr=0.1)
+        for _ in range(200):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-4)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            w, _, loss_fn = quadratic_problem()
+            opt = nn.SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = loss_fn()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = loss_fn().item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_solution(self):
+        w, target, loss_fn = quadratic_problem()
+        opt = nn.SGD([w], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < np.abs(target))
+
+    def test_adam_converges(self):
+        w, target, loss_fn = quadratic_problem()
+        opt = nn.Adam([w], lr=0.1)
+        for _ in range(300):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_adamw_decay_is_decoupled(self):
+        # With zero gradient, AdamW still shrinks weights; Adam with
+        # weight_decay folds decay into the (normalized) gradient.
+        w = Parameter(np.array([1.0]))
+        opt = nn.AdamW([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] == pytest.approx(0.95)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        w = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            nn.Adam([w], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        opt = nn.SGD([w], lr=0.1)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        w = Parameter(np.zeros(1))
+        opt = nn.SGD([w], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_reaches_eta_min(self):
+        w = Parameter(np.zeros(1))
+        opt = nn.SGD([w], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)

@@ -1,0 +1,148 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro import metrics
+
+RNG = np.random.default_rng(21)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert metrics.accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy(np.ones(3), np.ones(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy(np.array([]), np.array([]))
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        assert metrics.roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_reversed_scores(self):
+        y = np.array([0, 0, 1, 1])
+        assert metrics.roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_scores_near_half(self):
+        y = RNG.integers(0, 2, size=2000)
+        scores = RNG.random(2000)
+        assert metrics.roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_average(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert metrics.roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            metrics.roc_auc(np.zeros(4), np.ones(4))
+
+    def test_matches_pairwise_definition(self):
+        y = RNG.integers(0, 2, size=50)
+        y[0], y[1] = 0, 1
+        scores = RNG.normal(size=50)
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        manual = wins / (len(pos) * len(neg))
+        assert metrics.roc_auc(y, scores) == pytest.approx(manual)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        y = np.array([1, 1, 0, 0])
+        assert metrics.average_precision(y, np.array([4.0, 3.0, 2.0, 1.0])) == 1.0
+
+    def test_worst_ranking(self):
+        y = np.array([0, 0, 0, 1])
+        ap = metrics.average_precision(y, np.array([4.0, 3.0, 2.0, 1.0]))
+        assert ap == pytest.approx(0.25)
+
+    def test_no_positive_raises(self):
+        with pytest.raises(ValueError):
+            metrics.average_precision(np.zeros(3), np.ones(3))
+
+
+class TestF1:
+    def test_precision_recall_f1(self):
+        y = np.array([1, 1, 0, 0])
+        pred = np.array([1, 0, 1, 0])
+        result = metrics.precision_recall_f1(y, pred)
+        assert result["precision"] == pytest.approx(0.5)
+        assert result["recall"] == pytest.approx(0.5)
+        assert result["f1"] == pytest.approx(0.5)
+
+    def test_no_predictions_gives_zero(self):
+        result = metrics.precision_recall_f1(np.array([1, 1]), np.array([0, 0]))
+        assert result["f1"] == 0.0
+
+    def test_macro_f1_averages_classes(self):
+        y = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 1, 0])
+        per_class_0 = metrics.precision_recall_f1(y, pred, positive=0)["f1"]
+        per_class_1 = metrics.precision_recall_f1(y, pred, positive=1)["f1"]
+        assert metrics.macro_f1(y, pred) == pytest.approx((per_class_0 + per_class_1) / 2)
+
+
+class TestConfusionMatrix:
+    def test_entries(self):
+        y = np.array([0, 1, 1, 2])
+        pred = np.array([0, 1, 2, 2])
+        cm = metrics.confusion_matrix(y, pred, 3)
+        assert cm[1, 1] == 1 and cm[1, 2] == 1 and cm.sum() == 4
+
+
+class TestLogLoss:
+    def test_binary_vector(self):
+        y = np.array([1, 0])
+        probs = np.array([0.9, 0.1])
+        expected = -np.mean([np.log(0.9), np.log(0.9)])
+        assert metrics.log_loss(y, probs) == pytest.approx(expected)
+
+    def test_matrix_probs(self):
+        y = np.array([0, 1])
+        probs = np.array([[0.8, 0.2], [0.3, 0.7]])
+        expected = -np.mean([np.log(0.8), np.log(0.7)])
+        assert metrics.log_loss(y, probs) == pytest.approx(expected)
+
+    def test_clipping_prevents_inf(self):
+        assert np.isfinite(metrics.log_loss(np.array([1]), np.array([0.0])))
+
+
+class TestRegressionMetrics:
+    def test_rmse(self):
+        assert metrics.rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae(self):
+        assert metrics.mae(np.array([0.0, 0.0]), np.array([3.0, -4.0])) == pytest.approx(3.5)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert metrics.r2_score(y, y) == pytest.approx(1.0)
+        assert metrics.r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert metrics.r2_score(np.ones(3), np.zeros(3)) == 0.0
+
+
+class TestPrecisionAtK:
+    def test_top_k(self):
+        y = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        assert metrics.precision_at_k(y, scores, 2) == pytest.approx(0.5)
+        assert metrics.precision_at_k(y, scores, 3) == pytest.approx(2 / 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            metrics.precision_at_k(np.ones(3), np.ones(3), 0)
+        with pytest.raises(ValueError):
+            metrics.precision_at_k(np.ones(3), np.ones(3), 4)

@@ -1,0 +1,101 @@
+"""Tests for pipeline helpers and remaining small gaps."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.datasets import TabularDataset, make_fraud
+from repro.pipeline import PipelineResult, _field_matrix, run_pipeline
+from repro.tensor import Tensor, ops
+
+
+class TestFieldMatrix:
+    def test_one_column_per_field(self):
+        ds = make_fraud(n=50, seed=0)
+        fields = _field_matrix(ds)
+        assert fields.shape == (50, ds.num_numerical + ds.num_categorical)
+
+    def test_standardized_columns(self):
+        ds = make_fraud(n=200, seed=0)
+        fields = _field_matrix(ds)
+        np.testing.assert_allclose(fields.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_missing_cells_become_zero(self):
+        num = np.array([[1.0, np.nan], [2.0, 3.0], [3.0, 4.0]])
+        cat = np.array([[0], [-1], [1]])
+        ds = TabularDataset(num, cat, np.zeros(3), "binary", cardinalities=[2])
+        fields = _field_matrix(ds)
+        assert np.isfinite(fields).all()
+
+    def test_numerical_only_dataset(self):
+        ds = TabularDataset(np.random.default_rng(0).normal(size=(10, 3)),
+                            None, np.zeros(10), "binary")
+        assert _field_matrix(ds).shape == (10, 3)
+
+
+class TestPipelineResult:
+    def test_as_row_contains_metrics(self):
+        result = PipelineResult(
+            formulation="instance", network="gcn", test_accuracy=0.9,
+            test_macro_f1=0.85, phase_seconds={"training": 1.0},
+            num_parameters=100,
+        )
+        row = result.as_row()
+        assert "instance" in row and "0.900" in row and "training" in row
+
+
+class TestPipelineSemiSupervised:
+    def test_train_fraction_controls_label_budget(self):
+        ds = make_fraud(n=150, seed=0)
+        result = run_pipeline(ds, formulation="instance", max_epochs=15,
+                              train_fraction=0.1, val_fraction=0.1)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_class_weights_prevent_majority_collapse(self):
+        # On imbalanced fraud the weighted pipeline should predict some
+        # positives (macro F1 above the all-negative degenerate value ~0.48).
+        ds = make_fraud(n=400, seed=0)
+        result = run_pipeline(ds, formulation="multiplex", max_epochs=100)
+        assert result.test_macro_f1 > 0.5
+
+
+class TestSmallGaps:
+    def test_tensor_ensure_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert Tensor.ensure(t) is t
+        coerced = Tensor.ensure([1.0, 2.0])
+        assert isinstance(coerced, Tensor)
+
+    def test_sequential_iterates(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(2, 3, rng), nn.Activation("relu"))
+        assert len(seq) == 2
+        assert len(list(seq)) == 2
+
+    def test_identity_layer(self):
+        layer = nn.Identity()
+        x = Tensor(np.ones((2, 2)))
+        assert layer(x) is x
+
+    def test_elu_matches_definition(self):
+        x = Tensor(np.array([-1.0, 0.5]))
+        out = ops.elu(x, alpha=1.0)
+        np.testing.assert_allclose(out.data, [np.exp(-1.0) - 1.0, 0.5])
+
+    def test_optimizer_skips_gradless_params(self):
+        rng = np.random.default_rng(0)
+        used = nn.Linear(2, 2, rng)
+        unused = nn.Linear(2, 2, rng)
+        before = unused.weight.data.copy()
+        opt = nn.Adam(used.parameters() + unused.parameters(), lr=0.1)
+        loss = ops.sum(used(Tensor(np.ones((1, 2)))))
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_allclose(unused.weight.data, before)
+
+    def test_embedding_name_assignment(self):
+        rng = np.random.default_rng(0)
+        linear = nn.Linear(2, 2, rng)
+        names = dict(linear.named_parameters())
+        assert "weight" in names and "bias" in names

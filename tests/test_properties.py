@@ -1,0 +1,216 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import metrics, nn
+from repro.construction.learned import topk_sparsify
+from repro.construction.rules import knn_edges, pairwise_distances
+from repro.datasets.preprocessing import MinMaxScaler, StandardScaler
+from repro.gnn.readout import mean_readout, sum_readout
+from repro.graph.utils import (
+    coalesce_edge_index,
+    safe_reciprocal,
+    symmetrize_edge_index,
+)
+from repro.tensor import Tensor, ops
+
+finite = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+def small_matrix(max_rows=8, max_cols=6, min_rows=1, min_cols=1):
+    return st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    ).flatmap(lambda s: arrays(np.float64, s, elements=finite))
+
+
+# ----------------------------------------------------------------------
+# autograd engine
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(small_matrix())
+def test_add_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    ops.sum(ops.add(t, Tensor(np.ones_like(x)))).backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrix())
+def test_mul_gradient_is_other_operand(x):
+    other = np.full_like(x, 2.5)
+    t = Tensor(x, requires_grad=True)
+    ops.sum(ops.mul(t, Tensor(other))).backward()
+    np.testing.assert_allclose(t.grad, other)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrix(min_cols=2))
+def test_softmax_rows_are_distributions(x):
+    out = ops.softmax(Tensor(x), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrix())
+def test_relu_idempotent(x):
+    once = ops.relu(Tensor(x)).data
+    twice = ops.relu(Tensor(once)).data
+    np.testing.assert_allclose(once, twice)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrix(), st.integers(0, 4))
+def test_segment_sum_conserves_mass(x, extra_segments):
+    n = x.shape[0]
+    rng = np.random.default_rng(0)
+    seg = rng.integers(0, n + extra_segments, size=n)
+    out = ops.segment_sum(Tensor(x), seg, n + extra_segments).data
+    np.testing.assert_allclose(out.sum(axis=0), x.sum(axis=0), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.integers(2, 20), elements=finite))
+def test_segment_softmax_within_single_segment_is_softmax(scores):
+    seg = np.zeros(len(scores), dtype=np.int64)
+    out = ops.segment_softmax(Tensor(scores), seg, 1).data
+    expected = ops.softmax(Tensor(scores.reshape(1, -1))).data.reshape(-1)
+    np.testing.assert_allclose(out, expected, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# graph utilities
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 10), st.integers(1, 30))
+def test_symmetrize_makes_edge_set_symmetric(num_nodes, num_edges):
+    rng = np.random.default_rng(num_nodes * 100 + num_edges)
+    edges = rng.integers(0, num_nodes, size=(2, num_edges))
+    sym, _ = symmetrize_edge_index(edges)
+    pairs = set(map(tuple, sym.T))
+    assert all((b, a) in pairs for a, b in pairs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 10), st.integers(1, 30))
+def test_coalesce_is_idempotent_and_duplicate_free(num_nodes, num_edges):
+    rng = np.random.default_rng(num_nodes * 7 + num_edges)
+    edges = rng.integers(0, num_nodes, size=(2, num_edges))
+    once, _ = coalesce_edge_index(edges)
+    twice, _ = coalesce_edge_index(once)
+    assert once.shape == twice.shape
+    assert len(set(map(tuple, once.T))) == once.shape[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, st.integers(1, 10),
+              elements=st.floats(0, 100, allow_nan=False)))
+def test_safe_reciprocal_no_inf(values):
+    out = safe_reciprocal(values)
+    assert np.all(np.isfinite(out))
+    positive = values > 0
+    mask = positive & (values > 1e-100)
+    np.testing.assert_allclose(out[mask] * values[mask], 1.0, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 15), st.integers(1, 3))
+def test_knn_outdegree_invariant(n, k):
+    rng = np.random.default_rng(n * 10 + k)
+    x = rng.normal(size=(n, 3))
+    edges = knn_edges(x, k=k)
+    counts = np.bincount(edges[1], minlength=n)
+    assert np.all(counts == k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 10))
+def test_pairwise_distance_symmetry_and_triangle(n):
+    rng = np.random.default_rng(n)
+    x = rng.normal(size=(n, 4))
+    d = pairwise_distances(x, "euclidean")
+    np.testing.assert_allclose(d, d.T, atol=1e-8)
+    # triangle inequality on a random triple
+    i, j, k = rng.integers(0, n, size=3)
+    assert d[i, k] <= d[i, j] + d[j, k] + 1e-8
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 10), st.integers(1, 3))
+def test_topk_mask_row_counts(n, k):
+    rng = np.random.default_rng(n * 3 + k)
+    if k >= n:
+        return
+    mask = topk_sparsify(rng.normal(size=(n, n)), k)
+    np.testing.assert_array_equal(mask.sum(axis=1), k)
+
+
+# ----------------------------------------------------------------------
+# preprocessing
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(small_matrix(min_rows=2))
+def test_standard_scaler_inverse_roundtrip(x):
+    scaler = StandardScaler()
+    z = scaler.fit_transform(x)
+    np.testing.assert_allclose(scaler.inverse_transform(z), x, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrix(min_rows=2))
+def test_minmax_scaler_output_in_unit_box(x):
+    z = MinMaxScaler().fit_transform(x)
+    assert np.all(z >= -1e-12) and np.all(z <= 1 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# losses & metrics
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(small_matrix(min_rows=2, min_cols=2))
+def test_cross_entropy_nonnegative(logits):
+    targets = np.zeros(logits.shape[0], dtype=np.int64)
+    loss = nn.cross_entropy(Tensor(logits), targets).item()
+    assert loss >= -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 50))
+def test_auc_complement_when_scores_negated(n):
+    rng = np.random.default_rng(n)
+    y = rng.integers(0, 2, size=n)
+    if y.sum() in (0, n):
+        y[0] = 0
+        y[1] = 1
+    scores = rng.normal(size=n)
+    auc = metrics.roc_auc(y, scores)
+    flipped = metrics.roc_auc(y, -scores)
+    assert auc + flipped == 1.0 or abs(auc + flipped - 1.0) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 40))
+def test_accuracy_bounds(n):
+    rng = np.random.default_rng(n)
+    y = rng.integers(0, 3, size=n)
+    pred = rng.integers(0, 3, size=n)
+    acc = metrics.accuracy(y, pred)
+    assert 0.0 <= acc <= 1.0
+
+
+# ----------------------------------------------------------------------
+# readout invariance
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(2, 6), st.integers(1, 4))
+def test_readout_permutation_invariance(batch, nodes, dim):
+    rng = np.random.default_rng(batch * 100 + nodes * 10 + dim)
+    h = rng.normal(size=(batch, nodes, dim))
+    perm = rng.permutation(nodes)
+    for readout in (sum_readout, mean_readout):
+        a = readout(Tensor(h)).data
+        b = readout(Tensor(h[:, perm])).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
