@@ -1,0 +1,119 @@
+"""Serving throughput: single-row vs micro-batched inductive inference.
+
+Every single-row request pays the fixed cost of inductive scoring —
+retrieval against the frozen pool, induced-graph construction, one GNN
+forward.  The micro-batcher coalesces concurrent requests so that cost is
+amortized across the batch.  This benchmark measures both paths on the
+same engine and artifact, reporting rows/sec and p50/p95 per-request
+latency; the acceptance bar is micro-batched throughput ≥ 5× single-row.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from _harness import once, record_table
+
+from repro.datasets import make_correlated_instances
+from repro.pipeline import run_pipeline
+from repro.serving import InferenceEngine, MicroBatcher
+
+N_REQUESTS = 192
+POOL_ROWS = 600
+ROWS = []
+STATE = {}
+
+
+def _setup():
+    if STATE:
+        return
+    dataset = make_correlated_instances(
+        n=POOL_ROWS, seed=0, cluster_strength=2.0
+    )
+    result = run_pipeline(
+        dataset, formulation="instance", network="gcn", max_epochs=40, seed=0
+    )
+    rng = np.random.default_rng(1)
+    picks = rng.integers(0, POOL_ROWS, N_REQUESTS)
+    STATE["artifact"] = result.export_artifact()
+    # Perturbed pool rows: realistic unseen traffic, all distinct (no cache
+    # assistance on either path — caching is disabled anyway).
+    STATE["rows"] = dataset.numerical[picks] + rng.normal(
+        0.0, 0.05, (N_REQUESTS, dataset.num_numerical)
+    )
+
+
+def _percentiles(latencies):
+    latencies = np.sort(np.asarray(latencies)) * 1000.0
+    return (
+        float(np.percentile(latencies, 50)),
+        float(np.percentile(latencies, 95)),
+    )
+
+
+def _run_single_row():
+    _setup()
+    engine = InferenceEngine(STATE["artifact"], cache_size=0)
+    latencies = []
+    start = time.perf_counter()
+    for row in STATE["rows"]:
+        t0 = time.perf_counter()
+        engine.predict(row)
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    return N_REQUESTS / elapsed, latencies
+
+
+def _run_micro_batched():
+    _setup()
+    engine = InferenceEngine(STATE["artifact"], cache_size=0)
+    latencies = []
+
+    def hit(row):
+        t0 = time.perf_counter()
+        batcher.submit(row)
+        return time.perf_counter() - t0
+
+    with MicroBatcher(engine, max_batch_size=64, max_delay_ms=5.0) as batcher:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(32) as pool:
+            latencies = list(pool.map(hit, STATE["rows"]))
+        elapsed = time.perf_counter() - start
+        stats = dict(batcher.stats)
+    return N_REQUESTS / elapsed, latencies, stats
+
+
+def test_single_row_throughput(benchmark):
+    rps, latencies = once(benchmark, _run_single_row)
+    p50, p95 = _percentiles(latencies)
+    ROWS.append(("single-row", 1, rps, p50, p95))
+    assert rps > 0
+
+
+def test_micro_batched_throughput(benchmark):
+    rps, latencies, stats = once(benchmark, _run_micro_batched)
+    p50, p95 = _percentiles(latencies)
+    ROWS.append(("micro-batched", stats["largest_batch"], rps, p50, p95))
+    assert stats["batches"] < N_REQUESTS, "batcher never coalesced"
+
+
+def test_zzz_render_throughput(benchmark):
+    def render():
+        single = next(r for r in ROWS if r[0] == "single-row")
+        batched = next(r for r in ROWS if r[0] == "micro-batched")
+        speedup = batched[2] / single[2]
+        text = record_table(
+            "serving_throughput",
+            "Serving throughput: single-row vs micro-batched inference",
+            ["mode", "max batch", "rows/sec", "p50 (ms)", "p95 (ms)"],
+            [list(r) for r in ROWS],
+            note=(
+                f"pool={POOL_ROWS} rows, {N_REQUESTS} requests; "
+                f"micro-batched speedup = {speedup:.1f}x (bar: >= 5x)"
+            ),
+        )
+        assert speedup >= 5.0, f"micro-batching speedup {speedup:.1f}x below 5x bar"
+        return text
+
+    once(benchmark, render)

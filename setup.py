@@ -6,6 +6,22 @@ shim (and no ``[build-system]`` table in pyproject.toml), ``pip install -e .``
 falls back to ``setup.py develop``, which works offline.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'^__version__ = "(.+)"', _INIT.read_text(), re.M).group(1)
+
+setup(
+    name="gnn4tdl-repro",
+    version=_VERSION,
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "gnn4tdl-serve=repro.serving.server:main",
+        ],
+    },
+)

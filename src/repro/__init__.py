@@ -15,6 +15,22 @@ Quickstart::
     result = run_pipeline(dataset, formulation="instance", network="gcn")
     print(result.as_row())
 
+Serving quickstart — train, export, serve, predict::
+
+    from repro.serving import InferenceEngine, ModelArtifact
+
+    result.export_artifact().save("model")      # → model.npz + model.json
+
+    # Same process: score rows the training graph never saw.  Unseen rows
+    # link into the frozen training pool by retrieval (survey Sec. 4.2.4).
+    engine = InferenceEngine(ModelArtifact.load("model.npz"))
+    probs = engine.predict([0.3] * dataset.num_numerical)
+
+    # Fresh process: micro-batched JSON-over-HTTP, stdlib only.
+    #   $ python -m repro.serving --artifact model.npz --port 8000
+    #   $ curl -d '{"numerical": [0.3, ...]}' localhost:8000/predict
+    #   $ curl localhost:8000/healthz
+
 Subpackages
 -----------
 ``repro.tensor``        autograd engine (the PyTorch substitute)
@@ -27,6 +43,7 @@ Subpackages
 ``repro.datasets``      data container + synthetic generators
 ``repro.baselines``     structure-blind reference models
 ``repro.applications``  Sec. 5 application pipelines
+``repro.serving``       model artifacts, inductive inference, HTTP serving
 """
 
 __version__ = "1.0.0"
@@ -45,4 +62,5 @@ __all__ = [
     "registry",
     "pipeline",
     "applications",
+    "serving",
 ]

@@ -9,13 +9,17 @@ callable returning a method → metrics dict:
 * :mod:`repro.applications.imputation` — missing-data imputation (Sec. 5.4);
 * :mod:`repro.applications.fraud` — fraud detection on multi-relational
   graphs (Sec. 5.1/5.5).
+
+The fraud and CTR applications additionally expose ``export_*_artifact``
+helpers that train a servable model and hand back a
+:class:`repro.serving.ModelArtifact` ready for the prediction server.
 """
 
 from repro.applications.anomaly import run_anomaly_detection
-from repro.applications.ctr import run_ctr_benchmark
+from repro.applications.ctr import export_ctr_artifact, run_ctr_benchmark
 from repro.applications.medical import run_ehr_benchmark
 from repro.applications.imputation import run_imputation_benchmark
-from repro.applications.fraud import run_fraud_benchmark
+from repro.applications.fraud import export_fraud_artifact, run_fraud_benchmark
 
 __all__ = [
     "run_anomaly_detection",
@@ -23,4 +27,6 @@ __all__ = [
     "run_ehr_benchmark",
     "run_imputation_benchmark",
     "run_fraud_benchmark",
+    "export_ctr_artifact",
+    "export_fraud_artifact",
 ]

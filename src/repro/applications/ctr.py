@@ -9,7 +9,7 @@ Fi-GNN > MLP > logistic (the survey's Sec. 2.5b claim).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -95,3 +95,31 @@ def run_ctr_benchmark(
         "logloss": log_loss(y[test_mask], probs[test_mask]),
     }
     return results
+
+
+def export_ctr_artifact(
+    dataset: TabularDataset,
+    path: Optional[str] = None,
+    epochs: int = 120,
+    seed: int = 0,
+):
+    """Train a servable CTR scorer and export it as a model artifact.
+
+    Uses the feature-graph formulation (Fi-GNN style field interactions),
+    which is row-wise and therefore serves unseen impressions without a
+    training pool.  Returns the :class:`repro.serving.ModelArtifact`; also
+    saves it when ``path`` is given.
+    """
+    from repro.pipeline import run_pipeline
+
+    if dataset.task != "binary":
+        raise ValueError("CTR prediction expects a binary dataset")
+    result = run_pipeline(
+        dataset, formulation="feature", max_epochs=epochs, seed=seed
+    )
+    artifact = result.export_artifact()
+    artifact.metadata["application"] = "ctr"
+    artifact.metadata["test_accuracy"] = result.test_accuracy
+    if path is not None:
+        artifact.save(path)
+    return artifact

@@ -18,6 +18,50 @@ from repro.graph.homogeneous import Graph
 from repro.graph.utils import symmetrize_edge_index
 
 
+def cross_similarity(
+    queries: np.ndarray,
+    pool: np.ndarray,
+    measure: str = "cosine",
+) -> np.ndarray:
+    """(len(queries), len(pool)) similarity block, computed directly.
+
+    Equivalent in *ranking* to slicing ``pairwise_similarity`` of the
+    stacked matrix, but costs O(B·N) instead of O((B+N)²) — the difference
+    between a serving hot path and a quadratic blow-up as the pool grows.
+    (For ``rbf``/``heat`` the kernel bandwidth is estimated from the cross
+    block rather than the full stack; the kernel is monotone in distance,
+    so top-k neighbor rankings are unchanged.)
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    pool = np.asarray(pool, dtype=np.float64)
+    if measure == "inner":
+        return queries @ pool.T
+    if measure == "cosine":
+        qn = queries / np.maximum(np.linalg.norm(queries, axis=1, keepdims=True), 1e-12)
+        pn = pool / np.maximum(np.linalg.norm(pool, axis=1, keepdims=True), 1e-12)
+        return qn @ pn.T
+    if measure == "pearson":
+        return cross_similarity(
+            queries - queries.mean(axis=1, keepdims=True),
+            pool - pool.mean(axis=1, keepdims=True),
+            "cosine",
+        )
+    if measure in ("euclidean", "rbf", "heat"):
+        sq = (queries**2).sum(axis=1)[:, None] + (pool**2).sum(axis=1)[None, :]
+        d = np.sqrt(np.maximum(sq - 2.0 * (queries @ pool.T), 0.0))
+        if measure == "euclidean":
+            return -d
+        if measure == "heat":
+            return np.exp(-(d**2))
+        positive = d[d > 0]
+        median = np.median(positive) if positive.size else 1.0
+        gamma = 1.0 / max(2.0 * median**2, 1e-12)
+        return np.exp(-gamma * d**2)
+    # Fall back to the generic stacked path for exotic measures.
+    stacked = np.concatenate([queries, pool], axis=0)
+    return pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
+
+
 def retrieve_neighbors(
     queries: np.ndarray,
     pool: np.ndarray,
@@ -29,8 +73,7 @@ def retrieve_neighbors(
     pool = np.asarray(pool, dtype=np.float64)
     if not 1 <= k <= pool.shape[0]:
         raise ValueError(f"k must be in [1, pool size], got {k}")
-    stacked = np.concatenate([queries, pool], axis=0)
-    sim = pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
+    sim = cross_similarity(queries, pool, measure)
     top = np.argpartition(sim, kth=pool.shape[0] - k, axis=1)[:, -k:]
     order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
     return np.take_along_axis(top, order, axis=1)

@@ -36,6 +36,7 @@ from repro.datasets.preprocessing import (
     OneHotEncoder,
     OrdinalEncoder,
     StandardScaler,
+    TabularPreprocessor,
     train_val_test_masks,
 )
 
@@ -56,5 +57,6 @@ __all__ = [
     "OneHotEncoder",
     "OrdinalEncoder",
     "StandardScaler",
+    "TabularPreprocessor",
     "train_val_test_masks",
 ]

@@ -10,7 +10,10 @@
    prediction layer.
 
 It returns per-phase timing and test metrics, which is exactly what the
-Figure 1 benchmark prints.
+Figure 1 benchmark prints — plus, for the row-wise formulations, a
+:class:`PipelineState` bundling the fitted model, frozen preprocessing and
+graph-construction state so the run can be exported as a
+:class:`repro.serving.ModelArtifact` and serve unseen rows inductively.
 """
 
 from __future__ import annotations
@@ -23,9 +26,10 @@ import numpy as np
 
 from repro import nn
 from repro.construction.rules import knn_graph
-from repro.datasets.preprocessing import train_val_test_masks
+from repro.datasets.preprocessing import TabularPreprocessor, train_val_test_masks
 from repro.datasets.tabular import TabularDataset
 from repro.gnn.networks import build_network
+from repro.graph.homogeneous import Graph
 from repro.metrics import accuracy, macro_f1
 from repro.models import (
     FeatureGraphClassifier,
@@ -40,24 +44,69 @@ from repro.training.trainer import Trainer
 
 FORMULATIONS = ("instance", "feature", "multiplex", "hetero", "hypergraph")
 
+#: Formulations whose fitted state can be exported as a serving artifact.
+#: The row-wise formulations support inductive inference (new rows link into
+#: the frozen pool via retrieval, survey Sec. 4.2.4); the node-heterogeneous
+#: formulations are bound to the training table's value nodes.
+SERVABLE_FORMULATIONS = ("instance", "feature")
 
-def _field_matrix(dataset: TabularDataset) -> np.ndarray:
-    """One standardized column per original field (numerical + ordinal codes)."""
-    from repro.datasets.preprocessing import StandardScaler
 
-    blocks = []
-    if dataset.num_numerical:
-        blocks.append(
-            StandardScaler().fit_transform(
-                np.nan_to_num(dataset.numerical, nan=0.0)
+def _field_matrix(
+    dataset: TabularDataset,
+    preprocessor: Optional[TabularPreprocessor] = None,
+) -> np.ndarray:
+    """One standardized column per original field (numerical + ordinal codes).
+
+    When ``preprocessor`` is omitted a fields-mode
+    :class:`~repro.datasets.TabularPreprocessor` is fit on ``dataset`` itself
+    (the historical transductive behavior).  Passing a fitted preprocessor
+    reuses its frozen statistics instead of refitting on every call — the
+    train/serve-parity path used by ``run_pipeline`` and the serving engine.
+    """
+    if preprocessor is None:
+        preprocessor = TabularPreprocessor(mode="fields").fit(dataset)
+    return preprocessor.transform_dataset(dataset)
+
+
+@dataclasses.dataclass
+class PipelineState:
+    """Everything a trained run needs to keep predicting after training.
+
+    ``run_pipeline`` attaches one of these to its result so callers can
+    (a) recompute transductive predictions without retraining and
+    (b) export the run as a :class:`repro.serving.ModelArtifact` for
+    inductive serving of rows the training graph never contained.
+    """
+
+    formulation: str
+    network: str
+    model: nn.Module
+    preprocessor: Optional[TabularPreprocessor]
+    features: Optional[np.ndarray]
+    config: Dict[str, object]
+    graph: Optional[Graph] = None
+
+    def logits(self) -> np.ndarray:
+        """Transductive logits over the training table (eval mode)."""
+        self.model.eval()
+        if self.formulation == "feature":
+            return self.model(self.features).data
+        return self.model().data
+
+    def predictions(self) -> np.ndarray:
+        return self.logits().argmax(axis=1)
+
+    def export_artifact(self) -> "object":
+        """Bundle this run into a :class:`repro.serving.ModelArtifact`."""
+        from repro.serving.artifact import ModelArtifact
+
+        if self.formulation not in SERVABLE_FORMULATIONS:
+            raise NotImplementedError(
+                f"formulation {self.formulation!r} binds the model to the "
+                f"training table's value nodes and cannot serve unseen rows; "
+                f"export one of {SERVABLE_FORMULATIONS}"
             )
-        )
-    if dataset.num_categorical:
-        codes = dataset.categorical.astype(np.float64)
-        codes[codes < 0] = np.nan
-        scaled = StandardScaler().fit_transform(codes)
-        blocks.append(np.nan_to_num(scaled, nan=0.0))
-    return np.concatenate(blocks, axis=1)
+        return ModelArtifact.from_pipeline_state(self)
 
 
 @dataclasses.dataclass
@@ -68,6 +117,7 @@ class PipelineResult:
     test_macro_f1: float
     phase_seconds: Dict[str, float]
     num_parameters: int
+    state: Optional[PipelineState] = None
 
     def as_row(self) -> str:
         timings = ", ".join(f"{k}={v:.2f}s" for k, v in self.phase_seconds.items())
@@ -75,6 +125,11 @@ class PipelineResult:
             f"{self.formulation:<10} {self.network:<8} "
             f"acc={self.test_accuracy:.3f} f1={self.test_macro_f1:.3f}  ({timings})"
         )
+
+    def export_artifact(self) -> "object":
+        if self.state is None:
+            raise RuntimeError("this result carries no fitted state to export")
+        return self.state.export_artifact()
 
 
 def run_pipeline(
@@ -109,18 +164,37 @@ def run_pipeline(
 
     # --- Phases 1+2: formulation & construction -------------------------
     start = time.perf_counter()
-    x = dataset.to_matrix()
     aux_task = None
+    preprocessor: Optional[TabularPreprocessor] = None
+    graph: Optional[Graph] = None
+    x = x_fields = None
+    # These also land in PipelineState.config: the serving engine must
+    # reconstruct graphs/models with exactly the values used here.
+    metric = "euclidean"
+    num_layers = 2
+    embed_dim = hidden_dim // 2
     if formulation == "instance":
-        graph = knn_graph(x, k=k, y=y)
-        model = build_network(network, graph, hidden_dim, out_dim, rng)
+        # Standardization statistics are fit once on the training split and
+        # frozen (train/serve parity): the same transform the serving engine
+        # later applies to unseen rows produced these node features.
+        preprocessor = TabularPreprocessor(mode="onehot").fit(
+            dataset, row_mask=train_mask
+        )
+        x = preprocessor.transform_dataset(dataset)
+        graph = knn_graph(x, k=k, metric=metric, y=y)
+        model = build_network(
+            network, graph, hidden_dim, out_dim, rng, num_layers=num_layers
+        )
         forward = model
     elif formulation == "feature":
         # Feature-graph methods tokenize *fields* (one node per original
         # column, Fi-GNN/T2G-Former style), not one-hot indicator columns.
-        x_fields = _field_matrix(dataset)
+        preprocessor = TabularPreprocessor(mode="fields").fit(
+            dataset, row_mask=train_mask
+        )
+        x_fields = _field_matrix(dataset, preprocessor)
         model = FeatureGraphClassifier(
-            x_fields.shape[1], out_dim, rng, embed_dim=hidden_dim // 2
+            x_fields.shape[1], out_dim, rng, embed_dim=embed_dim
         )
         forward = lambda: model(x_fields)  # noqa: E731 - tiny pipeline closures
     elif formulation == "multiplex":
@@ -171,6 +245,23 @@ def run_pipeline(
     pred = forward().data.argmax(axis=1)
     timings["inference"] = time.perf_counter() - start
 
+    state = PipelineState(
+        formulation=formulation,
+        network=network,
+        model=model,
+        preprocessor=preprocessor,
+        features=x_fields if formulation == "feature" else x,
+        config={
+            "hidden_dim": hidden_dim,
+            "out_dim": out_dim,
+            "k": k,
+            "metric": metric,
+            "num_layers": num_layers,
+            "embed_dim": embed_dim,
+            "task": dataset.task,
+        },
+        graph=graph,
+    )
     return PipelineResult(
         formulation=formulation,
         network=network,
@@ -178,4 +269,5 @@ def run_pipeline(
         test_macro_f1=macro_f1(y[test_mask], pred[test_mask]),
         phase_seconds=timings,
         num_parameters=model.num_parameters(),
+        state=state,
     )

@@ -1,0 +1,42 @@
+"""Model serving: artifacts, inductive inference, micro-batched HTTP.
+
+This subsystem takes any servable pipeline (see
+:data:`repro.pipeline.SERVABLE_FORMULATIONS`) from experiment to
+request-serving:
+
+* :mod:`repro.serving.artifact` — :class:`ModelArtifact`, the deployable
+  bundle of weights + fitted preprocessing + graph-construction state +
+  frozen training pool, persisted as ``.npz`` + JSON sidecar;
+* :mod:`repro.serving.engine` — :class:`InferenceEngine`, inductive scoring
+  of unseen rows by linking them into the frozen pool via retrieval
+  (survey Sec. 4.2.4), with a bounded LRU prediction cache;
+* :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
+  concurrent single-row requests into vectorized engine calls;
+* :mod:`repro.serving.server` — :class:`PredictionServer`, a stdlib-only
+  JSON-over-HTTP endpoint (``python -m repro.serving --artifact model.npz``).
+
+Quickstart::
+
+    from repro.datasets import make_correlated_instances
+    from repro.pipeline import run_pipeline
+    from repro.serving import InferenceEngine, ModelArtifact
+
+    result = run_pipeline(make_correlated_instances(n=300, seed=0))
+    result.export_artifact().save("model")          # model.npz + model.json
+
+    artifact = ModelArtifact.load("model.npz")      # possibly a new process
+    engine = InferenceEngine(artifact)
+    probs = engine.predict([0.3] * 16)              # unseen row → class probs
+"""
+
+from repro.serving.artifact import ModelArtifact
+from repro.serving.batching import MicroBatcher
+from repro.serving.engine import InferenceEngine
+from repro.serving.server import PredictionServer
+
+__all__ = [
+    "ModelArtifact",
+    "InferenceEngine",
+    "MicroBatcher",
+    "PredictionServer",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` — serve a model artifact over HTTP."""
+
+from repro.serving.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

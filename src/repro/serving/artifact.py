@@ -1,0 +1,229 @@
+"""Portable model artifacts: weights + preprocessing + graph state.
+
+A :class:`ModelArtifact` is the unit of deployment for this library.  It
+bundles everything a fresh process needs to reproduce a trained pipeline's
+predictions — the model ``state_dict``, the *fitted* preprocessing
+statistics (train/serve parity), the graph-construction config, and, for
+instance graphs, the frozen training pool (node features + edges) that
+unseen rows link into via retrieval (survey Sec. 4.2.4, PET-style).
+
+Persistence is deliberately dependency-free: one ``.npz`` holding every
+array, plus a human-readable ``.json`` sidecar holding the config.  Array
+names are namespaced (``param::``, ``prep::``, ``pool::``) so the flat npz
+container round-trips the nested structure losslessly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import __version__, nn
+from repro.datasets.preprocessing import TabularPreprocessor
+from repro.gnn.networks import build_network
+from repro.graph.homogeneous import Graph
+from repro.models import FeatureGraphClassifier
+
+_PARAM = "param::"
+_PREP = "prep::"
+_POOL = "pool::"
+
+ARTIFACT_FORMAT_VERSION = 1
+
+
+def _paths(path: Union[str, pathlib.Path]) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Resolve ``(npz_path, json_sidecar_path)`` from a user-supplied path."""
+    path = pathlib.Path(path)
+    if path.suffix == ".json":
+        path = path.with_suffix(".npz")
+    elif path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path, path.with_suffix(".json")
+
+
+@dataclasses.dataclass
+class ModelArtifact:
+    """A trained pipeline, frozen for inference.
+
+    Parameters
+    ----------
+    formulation:
+        One of :data:`repro.pipeline.SERVABLE_FORMULATIONS`.
+    network:
+        Architecture name (``repro.gnn.networks.NETWORKS`` key for instance
+        graphs; ``"feature_graph"`` for the feature formulation).
+    config:
+        JSON-safe hyperparameters (``hidden_dim``, ``out_dim``, ``k``,
+        ``metric``, ``num_layers``, ``embed_dim``, ``task``).
+    state_dict:
+        Trained parameter arrays keyed by dotted module path.
+    preprocessor:
+        Fitted :class:`~repro.datasets.TabularPreprocessor` mapping raw rows
+        into the model's feature space.
+    pool_x / pool_edge_index:
+        Instance formulation only — the frozen training pool's node features
+        and (symmetrized) edges.  New rows attach to this pool at inference
+        time; the pool itself never changes.
+    metadata:
+        Free-form JSON-safe provenance (application name, dataset summary…).
+    """
+
+    formulation: str
+    network: str
+    config: Dict[str, object]
+    state_dict: Dict[str, np.ndarray]
+    preprocessor: TabularPreprocessor
+    pool_x: Optional[np.ndarray] = None
+    pool_edge_index: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pipeline_state(cls, state) -> "ModelArtifact":
+        """Export a :class:`repro.pipeline.PipelineState` (see its docs)."""
+        artifact = cls(
+            formulation=state.formulation,
+            network=state.network if state.formulation == "instance" else "feature_graph",
+            config=dict(state.config),
+            state_dict=state.model.state_dict(),
+            preprocessor=state.preprocessor,
+            metadata={"library_version": __version__},
+        )
+        if state.formulation == "instance":
+            if state.graph is None:
+                raise ValueError("instance-formulation state must carry its graph")
+            artifact.pool_x = np.asarray(state.graph.x, dtype=np.float64)
+            artifact.pool_edge_index = state.graph.edge_index.astype(np.int64)
+            artifact.metadata["pool_rows"] = int(artifact.pool_x.shape[0])
+        return artifact
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return int(self.config["out_dim"])
+
+    def pool_graph(self) -> Graph:
+        if self.pool_x is None or self.pool_edge_index is None:
+            raise ValueError(f"{self.formulation!r} artifact carries no pool graph")
+        return Graph(self.pool_x.shape[0], self.pool_edge_index, x=self.pool_x)
+
+    def build_model(self, graph: Optional[Graph] = None) -> nn.Module:
+        """Instantiate the architecture, load the weights, switch to eval.
+
+        Instance-graph networks precompute their propagation operator from
+        the graph at construction, so the caller passes the (pool + queries)
+        graph each time; feature-graph models are graph-free and can be
+        built once and reused.
+        """
+        rng = np.random.default_rng(0)
+        if self.formulation == "instance":
+            if graph is None:
+                graph = self.pool_graph()
+            model = build_network(
+                self.network,
+                graph,
+                int(self.config["hidden_dim"]),
+                self.num_classes,
+                rng,
+                num_layers=int(self.config.get("num_layers", 2)),
+            )
+        else:
+            model = FeatureGraphClassifier(
+                self.preprocessor.num_output_features,
+                self.num_classes,
+                rng,
+                embed_dim=int(self.config["embed_dim"]),
+                num_layers=int(self.config.get("num_layers", 2)),
+            )
+        model.load_state_dict(self.state_dict)
+        model.eval()
+        return model
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write ``<path>.npz`` (arrays) + ``<path>.json`` (config sidecar)."""
+        npz_path, json_path = _paths(path)
+        arrays: Dict[str, np.ndarray] = {
+            _PARAM + name: np.asarray(value, dtype=np.float64)
+            for name, value in self.state_dict.items()
+        }
+        prep_arrays, prep_meta = self.preprocessor.state()
+        arrays.update({_PREP + name: value for name, value in prep_arrays.items()})
+        if self.pool_x is not None:
+            arrays[_POOL + "x"] = self.pool_x
+            arrays[_POOL + "edge_index"] = self.pool_edge_index
+        np.savez(npz_path, **arrays)
+        sidecar = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "formulation": self.formulation,
+            "network": self.network,
+            "config": self.config,
+            "preprocessor": prep_meta,
+            "metadata": self.metadata,
+            "parameters": sorted(self.state_dict),
+        }
+        json_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+        return npz_path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "ModelArtifact":
+        """Reload an artifact saved by :meth:`save` (pass either file)."""
+        npz_path, json_path = _paths(path)
+        if not npz_path.exists():
+            raise FileNotFoundError(f"artifact arrays not found: {npz_path}")
+        if not json_path.exists():
+            raise FileNotFoundError(f"artifact sidecar not found: {json_path}")
+        sidecar = json.loads(json_path.read_text())
+        version = int(sidecar.get("format_version", 0))
+        if version > ARTIFACT_FORMAT_VERSION:
+            raise ValueError(
+                f"artifact format v{version} is newer than this library "
+                f"(supports v{ARTIFACT_FORMAT_VERSION})"
+            )
+        with np.load(npz_path) as data:
+            arrays = {name: data[name] for name in data.files}
+        state_dict = {
+            name[len(_PARAM):]: arrays[name] for name in arrays if name.startswith(_PARAM)
+        }
+        expected = set(sidecar.get("parameters", state_dict))
+        if set(state_dict) != expected:
+            raise ValueError(
+                "artifact npz/sidecar disagree on parameter names; "
+                "the two files are from different saves"
+            )
+        prep_arrays = {
+            name[len(_PREP):]: arrays[name] for name in arrays if name.startswith(_PREP)
+        }
+        preprocessor = TabularPreprocessor.from_state(
+            prep_arrays, sidecar["preprocessor"]
+        )
+        return cls(
+            formulation=sidecar["formulation"],
+            network=sidecar["network"],
+            config=sidecar["config"],
+            state_dict=state_dict,
+            preprocessor=preprocessor,
+            pool_x=arrays.get(_POOL + "x"),
+            pool_edge_index=(
+                arrays[_POOL + "edge_index"].astype(np.int64)
+                if _POOL + "edge_index" in arrays
+                else None
+            ),
+            metadata=sidecar.get("metadata", {}),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "formulation": self.formulation,
+            "network": self.network,
+            "classes": self.num_classes,
+            "parameters": int(sum(p.size for p in self.state_dict.values())),
+        }
+        if self.pool_x is not None:
+            info["pool_rows"] = int(self.pool_x.shape[0])
+            info["pool_edges"] = int(self.pool_edge_index.shape[1])
+        return info

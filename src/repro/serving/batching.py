@@ -1,0 +1,161 @@
+"""Micro-batching: coalesce single-row requests into vectorized batches.
+
+Per-row inference pays the full fixed cost of a forward pass — for the
+instance formulation that includes retrieval against the pool and building
+the induced (pool + queries) graph — for every single row.  Numpy
+vectorization makes the *marginal* row nearly free, so throughput under
+concurrent single-row traffic is won by coalescing: the
+:class:`MicroBatcher` queues incoming rows and flushes one engine call per
+batch, bounded by ``max_batch_size`` rows or ``max_delay_ms`` of waiting,
+whichever comes first.
+
+The batcher owns one consumer thread; producers (HTTP handler threads,
+benchmark workers) block in :meth:`submit` until their row's probabilities
+arrive.  ``bench_serving_throughput.py`` measures the resulting speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serving.engine import InferenceEngine
+
+
+@dataclasses.dataclass
+class _Request:
+    numerical: np.ndarray
+    categorical: np.ndarray
+    done: threading.Event = dataclasses.field(default_factory=threading.Event)
+    result: Optional[np.ndarray] = None
+    error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-row requests into engine batch calls.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serving.InferenceEngine` that scores batches.
+    max_batch_size:
+        Flush as soon as this many rows are queued.
+    max_delay_ms:
+        Flush a partial batch after the *first* queued row has waited this
+        long — bounds the latency cost a row pays for batching.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.max_delay = max_delay_ms / 1000.0
+        self.stats: Dict[str, int] = {"batches": 0, "rows": 0, "largest_batch": 0}
+        self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        numerical: np.ndarray,
+        categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Block until this row's ``(C,)`` probabilities are available.
+
+        Rows are validated *here*, in the caller's thread, so a malformed
+        row fails its own caller instead of poisoning the coalesced batch
+        it would have joined.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        num, cat = self.engine.artifact.preprocessor.normalize_rows(
+            numerical, categorical
+        )
+        request = _Request(numerical=num[0], categorical=cat[0])
+        # The lock orders this put against close()'s sentinel: once close
+        # has marked the batcher closed, no request can slip in behind the
+        # sentinel and block its producer forever.
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put(request)
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the consumer thread."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        import time
+
+        while True:
+            first = self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.max_delay
+            while len(batch) < self.max_batch_size:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._flush(batch)
+                    return
+                batch.append(item)
+            self._flush(batch)
+
+    def _flush(self, batch) -> None:
+        try:
+            # submit() already validated and normalized every row (missing
+            # categoricals became -1 "missing" codes), so mixed requests
+            # coalesce into one well-formed rectangular batch.
+            numerical = np.stack([r.numerical for r in batch])
+            categorical = np.stack([r.categorical for r in batch])
+            probs = self.engine.predict_batch(numerical, categorical)
+        except BaseException as exc:  # propagate to every waiting producer
+            for request in batch:
+                request.error = exc
+                request.done.set()
+            return
+        self.stats["batches"] += 1
+        self.stats["rows"] += len(batch)
+        self.stats["largest_batch"] = max(self.stats["largest_batch"], len(batch))
+        for i, request in enumerate(batch):
+            request.result = probs[i]
+            request.done.set()

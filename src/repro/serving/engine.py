@@ -1,0 +1,210 @@
+"""Inductive inference over a frozen training pool.
+
+The transductive pipelines score exactly the rows they were trained on.
+:class:`InferenceEngine` closes the train/serve gap for the row-wise
+formulations:
+
+* **instance** — unseen rows are preprocessed with the artifact's frozen
+  statistics, linked into the frozen training pool via
+  :func:`repro.construction.retrieval.retrieve_neighbors` (PET-style
+  retrieval, survey Sec. 4.2.4), and scored by running the GNN in eval mode
+  over the induced (pool + queries) graph.  Pool nodes never change, and
+  query nodes never connect to each other, so requests are independent.
+* **feature** — the feature-graph model is row-wise by construction; rows
+  are tokenized with the frozen field statistics and scored directly.
+
+Repeated rows are memoized in a bounded LRU cache keyed on the raw row
+bytes, so hot rows (the head of a production traffic distribution) skip
+the forward pass entirely.  Batch scoring deduplicates rows *within* the
+batch as well, which is what makes the micro-batcher's coalescing
+worthwhile under skewed traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.construction.retrieval import retrieve_neighbors
+from repro.graph.homogeneous import Graph
+from repro.serving.artifact import ModelArtifact
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class InferenceEngine:
+    """Score unseen rows against a :class:`~repro.serving.ModelArtifact`.
+
+    Parameters
+    ----------
+    artifact:
+        The frozen pipeline to serve.
+    cache_size:
+        Maximum number of distinct rows memoized in the LRU prediction
+        cache; ``0`` disables caching.
+
+    Notes
+    -----
+    Cached probability arrays are returned *by reference* (a cache hit is
+    the identical array, no copy, no forward pass) — treat them as
+    read-only.  The engine is thread-safe: a lock serializes scoring, which
+    matches the micro-batcher's single consumer model.
+    """
+
+    def __init__(self, artifact: ModelArtifact, cache_size: int = 256) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.artifact = artifact
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[bytes, bytes], np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "rows": 0,
+            "cache_hits": 0,
+            "forward_passes": 0,
+            "forward_rows": 0,
+        }
+        if artifact.formulation == "feature":
+            # Graph-free: build once, reuse for every request.
+            self._model = artifact.build_model()
+        else:
+            self._model = None
+            self._pool_x = np.asarray(artifact.pool_x, dtype=np.float64)
+            self._pool_edges = artifact.pool_edge_index.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return self.artifact.num_classes
+
+    def _normalize(
+        self, numerical: np.ndarray, categorical: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.artifact.preprocessor.normalize_rows(numerical, categorical)
+
+    @staticmethod
+    def _key(num_row: np.ndarray, cat_row: np.ndarray) -> Tuple[bytes, bytes]:
+        return (num_row.tobytes(), cat_row.tobytes())
+
+    # ------------------------------------------------------------------
+    def _forward(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
+        """One vectorized forward pass over a (B, …) row batch → (B, C) probs."""
+        features = self.artifact.preprocessor.transform(numerical, categorical)
+        if self.artifact.formulation == "feature":
+            model = self._model
+            model.eval()
+            logits = model(features).data
+        else:
+            batch = features.shape[0]
+            n_pool = self._pool_x.shape[0]
+            k = min(int(self.artifact.config["k"]), n_pool)
+            neighbors = retrieve_neighbors(
+                features,
+                self._pool_x,
+                k,
+                measure=str(self.artifact.config.get("metric", "euclidean")),
+            )
+            # Directed pool→query attachment edges: queries aggregate from
+            # their retrieved neighbors but leave every pool node's degree
+            # (and hence the GNN's normalization over the pool) untouched.
+            # Predictions are therefore exactly independent of which other
+            # queries share the batch — safe to micro-batch and to memoize.
+            query_ids = n_pool + np.arange(batch, dtype=np.int64)
+            attach = np.stack(
+                [neighbors.reshape(-1), np.repeat(query_ids, k)]
+            )
+            edge_index = np.concatenate([self._pool_edges, attach], axis=1)
+            graph = Graph(
+                n_pool + batch,
+                edge_index,
+                x=np.concatenate([self._pool_x, features], axis=0),
+            )
+            model = self.artifact.build_model(graph)
+            logits = model().data[n_pool:]
+        self.stats["forward_passes"] += 1
+        self.stats["forward_rows"] += features.shape[0]
+        return _softmax(logits)
+
+    # ------------------------------------------------------------------
+    def predict_batch(
+        self,
+        numerical: np.ndarray,
+        categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """(B, C) class probabilities for a batch of raw rows.
+
+        Rows already in the cache are served from it; the remaining
+        *distinct* rows share a single vectorized forward pass.
+        """
+        numerical, categorical = self._normalize(numerical, categorical)
+        n = numerical.shape[0]
+        out = np.empty((n, self.num_classes))
+        with self._lock:
+            self.stats["rows"] += n
+            keys = [self._key(numerical[i], categorical[i]) for i in range(n)]
+            fresh: "OrderedDict[Tuple[bytes, bytes], int]" = OrderedDict()
+            for i, key in enumerate(keys):
+                if self.cache_size and key in self._cache:
+                    self._cache.move_to_end(key)
+                    out[i] = self._cache[key]
+                    self.stats["cache_hits"] += 1
+                elif key not in fresh:
+                    fresh[key] = i
+            if fresh:
+                rows = list(fresh.values())
+                probs = self._forward(numerical[rows], categorical[rows])
+                for local, key in enumerate(fresh):
+                    if self.cache_size:
+                        self._cache[key] = probs[local]
+                        self._cache.move_to_end(key)
+                fresh_probs = dict(zip(fresh, probs))
+                for i, key in enumerate(keys):
+                    if key in fresh_probs:
+                        out[i] = fresh_probs[key]
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return out
+
+    def predict(
+        self,
+        numerical: np.ndarray,
+        categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """(C,) class probabilities for one raw row.
+
+        A cache hit returns the stored array itself — no forward pass.
+        """
+        numerical, categorical = self._normalize(numerical, categorical)
+        if numerical.shape[0] != 1:
+            raise ValueError("predict scores one row; use predict_batch")
+        key = self._key(numerical[0], categorical[0])
+        with self._lock:
+            self.stats["rows"] += 1
+            if self.cache_size and key in self._cache:
+                self._cache.move_to_end(key)
+                self.stats["cache_hits"] += 1
+                return self._cache[key]
+            probs = self._forward(numerical, categorical)[0]
+            if self.cache_size:
+                self._cache[key] = probs
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return probs
+
+    def predict_labels(
+        self,
+        numerical: np.ndarray,
+        categorical: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self.predict_batch(numerical, categorical).argmax(axis=1)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()

@@ -1,0 +1,247 @@
+"""Stdlib-only JSON-over-HTTP prediction server.
+
+``python -m repro.serving --artifact model.npz`` (or the ``gnn4tdl-serve``
+console script) loads a :class:`~repro.serving.ModelArtifact` and exposes:
+
+* ``GET /healthz`` — liveness + artifact summary + engine/batcher stats;
+* ``POST /predict`` — score rows.  The body is either one row::
+
+      {"numerical": [0.1, 2.3], "categorical": [4, 0]}
+
+  or a batch::
+
+      {"rows": [{"numerical": [...], "categorical": [...]}, ...]}
+
+  Single-row requests from concurrent clients are coalesced by the
+  micro-batcher; explicit batches go straight to the engine (they are
+  already vectorized).  The response carries per-row class probabilities
+  and argmax predictions.
+
+Built on :class:`http.server.ThreadingHTTPServer` so each in-flight request
+occupies one handler thread — exactly the producer model the
+micro-batcher coalesces across.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.artifact import ModelArtifact
+from repro.serving.batching import MicroBatcher
+from repro.serving.engine import InferenceEngine
+
+
+class _BadRequest(ValueError):
+    """Client error → HTTP 400 with an explanatory JSON body."""
+
+
+def _parse_row(row: Dict[str, object]) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    if not isinstance(row, dict) or "numerical" not in row:
+        raise _BadRequest('each row must be an object with a "numerical" list')
+    try:
+        numerical = np.asarray(row["numerical"], dtype=np.float64).reshape(-1)
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(f"bad numerical values: {exc}") from exc
+    categorical = None
+    if row.get("categorical") is not None:
+        try:
+            categorical = np.asarray(row["categorical"], dtype=np.int64).reshape(-1)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f"bad categorical values: {exc}") from exc
+    return numerical, categorical
+
+
+class PredictionServer:
+    """An :class:`InferenceEngine` + :class:`MicroBatcher` behind HTTP.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); the bound port is
+    available as :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        max_batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        cache_size: int = 256,
+    ) -> None:
+        self.artifact = artifact
+        self.engine = InferenceEngine(artifact, cache_size=cache_size)
+        self.batcher = MicroBatcher(
+            self.engine, max_batch_size=max_batch_size, max_delay_ms=max_delay_ms
+        )
+        server = self  # captured by the handler class below
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # keep request logs quiet
+                pass
+
+            def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                if self.path in ("/healthz", "/health"):
+                    self._send_json(200, server.health())
+                else:
+                    self._send_json(404, {"error": f"unknown path {self.path}"})
+
+            def do_POST(self) -> None:
+                if self.path != "/predict":
+                    self._send_json(404, {"error": f"unknown path {self.path}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    try:
+                        payload = json.loads(self.rfile.read(length) or b"{}")
+                    except json.JSONDecodeError as exc:
+                        raise _BadRequest(f"invalid JSON body: {exc}") from exc
+                    self._send_json(200, server.predict(payload))
+                except _BadRequest as exc:
+                    self._send_json(400, {"error": str(exc)})
+                except Exception as exc:  # pragma: no cover - defensive
+                    self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "artifact": self.artifact.summary(),
+            "engine": dict(self.engine.stats),
+            "batcher": dict(self.batcher.stats),
+        }
+
+    def predict(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Score a parsed request body (shared by HTTP handler and tests)."""
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        if "rows" in payload:
+            rows = payload["rows"]
+            if not isinstance(rows, list) or not rows:
+                raise _BadRequest('"rows" must be a non-empty list')
+            try:
+                # Rows may mix present/absent categoricals; normalize_rows
+                # fills absent ones with the -1 "missing" code so no row's
+                # data is dropped.
+                parsed = [
+                    self.artifact.preprocessor.normalize_rows(*_parse_row(row))
+                    for row in rows
+                ]
+                numerical = np.concatenate([num for num, _ in parsed])
+                categorical = np.concatenate([cat for _, cat in parsed])
+                probs = self.engine.predict_batch(numerical, categorical)
+            except ValueError as exc:  # ragged rows / wrong column count
+                raise _BadRequest(str(exc)) from exc
+        else:
+            numerical, categorical = _parse_row(payload)
+            try:
+                probs = np.atleast_2d(self.batcher.submit(numerical, categorical))
+            except ValueError as exc:  # wrong column count for the artifact
+                raise _BadRequest(str(exc)) from exc
+        return {
+            "predictions": probs.argmax(axis=1).tolist(),
+            "probabilities": probs.round(6).tolist(),
+            "rows": int(probs.shape[0]),
+        }
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (Ctrl-C safe)."""
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.shutdown()
+
+    def start(self) -> "PredictionServer":
+        """Serve on a background thread (tests / embedding)."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serving", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        # BaseServer.shutdown() blocks on an event that only serve_forever
+        # sets — calling it on a never-started server would hang forever.
+        if self._serving:
+            self._serving = False
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.batcher.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def main(argv=None) -> int:
+    """CLI entry point: ``gnn4tdl-serve`` / ``python -m repro.serving``."""
+    parser = argparse.ArgumentParser(
+        prog="gnn4tdl-serve",
+        description="Serve a trained GNN4TDL model artifact over HTTP.",
+    )
+    parser.add_argument("--artifact", required=True,
+                        help="path to the .npz saved by ModelArtifact.save")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument("--cache-size", type=int, default=256)
+    args = parser.parse_args(argv)
+
+    try:
+        artifact = ModelArtifact.load(args.artifact)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+    server = PredictionServer(
+        artifact,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_delay_ms=args.max_delay_ms,
+        cache_size=args.cache_size,
+    )
+    summary = ", ".join(f"{k}={v}" for k, v in artifact.summary().items())
+    print(f"serving {summary}")
+    print(f"listening on {server.url}  (POST /predict, GET /healthz)")
+    server.serve_forever()
+    return 0
