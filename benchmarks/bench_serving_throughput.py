@@ -1,27 +1,44 @@
-"""Serving throughput: single-row vs micro-batched inductive inference.
+"""Serving throughput: full-graph vs incremental inference, micro-batching.
 
-Every single-row request pays the fixed cost of inductive scoring —
-retrieval against the frozen pool, induced-graph construction, one GNN
-forward.  The micro-batcher coalesces concurrent requests so that cost is
-amortized across the batch.  This benchmark measures both paths on the
-same engine and artifact, reporting rows/sec and p50/p95 per-request
-latency; the acceptance bar is micro-batched throughput ≥ 5× single-row.
+Three claims are measured on the instance formulation:
+
+* **micro-batching** amortizes the full-graph path's fixed per-request cost
+  (retrieval, induced-graph rebuild, pool re-forward) across coalesced
+  requests — bar: >= 5x single-row throughput on the full-graph path;
+* **incremental query propagation** (precomputed pool activations, only the
+  B query rows recomputed per request) beats the full-graph path per
+  single-row request — bar: >= 3x lower latency at pool >= 2000 rows, with
+  predictions matching the full-graph oracle within 1e-8;
+* incremental per-request latency is **near-flat in pool size**, measured
+  by a pool-scaling sweep — bar: sub-linear (latency growth well below the
+  pool growth factor).
+
+Alongside the human-readable table, results are persisted as
+``benchmarks/results/BENCH_serving.json`` (rows/sec, p50/p95 latency, and
+the pool-scaling curve) so future PRs have a perf trajectory to compare
+against.
 """
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from _harness import once, record_table
+from _harness import RESULTS_DIR, once, record_table
 
-from repro.datasets import make_correlated_instances
+from repro.construction.rules import knn_graph
+from repro.datasets import TabularPreprocessor, make_correlated_instances
+from repro.gnn.networks import build_network
 from repro.pipeline import run_pipeline
-from repro.serving import InferenceEngine, MicroBatcher
+from repro.serving import InferenceEngine, MicroBatcher, ModelArtifact
 
 N_REQUESTS = 192
 POOL_ROWS = 600
+SWEEP_POOLS = (500, 1000, 2000, 4000)
+SWEEP_REQUESTS = 24
 ROWS = []
+SWEEP = []
 STATE = {}
 
 
@@ -44,6 +61,44 @@ def _setup():
     )
 
 
+def _sweep_artifact(pool_rows):
+    """Untrained (random-weight) artifact over a ``pool_rows``-row pool.
+
+    Latency does not depend on the weight values, so skipping training keeps
+    the sweep cheap while exercising the exact serving code paths.
+    """
+    dataset = make_correlated_instances(n=pool_rows, seed=2)
+    prep = TabularPreprocessor(mode="onehot").fit(dataset)
+    x = prep.transform_dataset(dataset)
+    graph = knn_graph(x, k=10, metric="euclidean", y=dataset.y)
+    model = build_network(
+        "gcn", graph, 32, dataset.num_classes, np.random.default_rng(0),
+        num_layers=2,
+    )
+    artifact = ModelArtifact(
+        formulation="instance",
+        network="gcn",
+        config={
+            "hidden_dim": 32,
+            "out_dim": dataset.num_classes,
+            "k": 10,
+            "metric": "euclidean",
+            "num_layers": 2,
+            "embed_dim": 16,
+            "task": dataset.task,
+        },
+        state_dict=model.state_dict(),
+        preprocessor=prep,
+        pool_x=np.asarray(graph.x, dtype=np.float64),
+        pool_edge_index=graph.edge_index.astype(np.int64),
+    )
+    rng = np.random.default_rng(3)
+    requests = dataset.numerical[
+        rng.integers(0, pool_rows, SWEEP_REQUESTS)
+    ] + rng.normal(0.0, 0.05, (SWEEP_REQUESTS, dataset.num_numerical))
+    return artifact, requests
+
+
 def _percentiles(latencies):
     latencies = np.sort(np.asarray(latencies)) * 1000.0
     return (
@@ -52,23 +107,30 @@ def _percentiles(latencies):
     )
 
 
-def _run_single_row():
-    _setup()
-    engine = InferenceEngine(STATE["artifact"], cache_size=0)
+def _time_single_rows(engine, rows):
     latencies = []
     start = time.perf_counter()
-    for row in STATE["rows"]:
+    for row in rows:
         t0 = time.perf_counter()
         engine.predict(row)
         latencies.append(time.perf_counter() - t0)
     elapsed = time.perf_counter() - start
-    return N_REQUESTS / elapsed, latencies
+    return len(rows) / elapsed, latencies
+
+
+def _run_single_row(incremental):
+    _setup()
+    engine = InferenceEngine(
+        STATE["artifact"], cache_size=0, incremental=incremental
+    )
+    return _time_single_rows(engine, STATE["rows"])
 
 
 def _run_micro_batched():
     _setup()
-    engine = InferenceEngine(STATE["artifact"], cache_size=0)
-    latencies = []
+    # Full-graph engine: micro-batching is what amortizes that path's fixed
+    # per-request cost (the incremental path has little left to amortize).
+    engine = InferenceEngine(STATE["artifact"], cache_size=0, incremental=False)
 
     def hit(row):
         t0 = time.perf_counter()
@@ -84,36 +146,120 @@ def _run_micro_batched():
     return N_REQUESTS / elapsed, latencies, stats
 
 
-def test_single_row_throughput(benchmark):
-    rps, latencies = once(benchmark, _run_single_row)
+def test_single_row_full_graph(benchmark):
+    rps, latencies = once(benchmark, lambda: _run_single_row(False))
     p50, p95 = _percentiles(latencies)
-    ROWS.append(("single-row", 1, rps, p50, p95))
+    ROWS.append(("single-row full-graph", 1, rps, p50, p95))
+    assert rps > 0
+
+
+def test_single_row_incremental(benchmark):
+    rps, latencies = once(benchmark, lambda: _run_single_row(True))
+    p50, p95 = _percentiles(latencies)
+    ROWS.append(("single-row incremental", 1, rps, p50, p95))
     assert rps > 0
 
 
 def test_micro_batched_throughput(benchmark):
     rps, latencies, stats = once(benchmark, _run_micro_batched)
     p50, p95 = _percentiles(latencies)
-    ROWS.append(("micro-batched", stats["largest_batch"], rps, p50, p95))
+    ROWS.append(("micro-batched full-graph", stats["largest_batch"], rps, p50, p95))
     assert stats["batches"] < N_REQUESTS, "batcher never coalesced"
+
+
+def test_pool_scaling_sweep(benchmark):
+    def sweep():
+        for pool_rows in SWEEP_POOLS:
+            artifact, requests = _sweep_artifact(pool_rows)
+            full = InferenceEngine(artifact, cache_size=0, incremental=False)
+            inc = InferenceEngine(artifact, cache_size=0, incremental=True)
+            # Correctness first: incremental must match the oracle.
+            diff = float(
+                np.abs(
+                    inc.predict_batch(requests) - full.predict_batch(requests)
+                ).max()
+            )
+            assert diff < 1e-8, f"pool={pool_rows}: parity broken ({diff:.2e})"
+            _, full_lat = _time_single_rows(full, requests)
+            _, inc_lat = _time_single_rows(inc, requests)
+            full_p50, _ = _percentiles(full_lat)
+            inc_p50, _ = _percentiles(inc_lat)
+            SWEEP.append(
+                {
+                    "pool_rows": pool_rows,
+                    "full_p50_ms": full_p50,
+                    "incremental_p50_ms": inc_p50,
+                    "speedup": full_p50 / inc_p50,
+                    "max_abs_diff": diff,
+                }
+            )
+        return SWEEP
+
+    once(benchmark, sweep)
+    for point in SWEEP:
+        if point["pool_rows"] >= 2000:
+            assert point["speedup"] >= 3.0, (
+                f"pool={point['pool_rows']}: incremental only "
+                f"{point['speedup']:.1f}x faster (bar: >= 3x)"
+            )
+    pool_growth = SWEEP_POOLS[-1] / SWEEP_POOLS[0]
+    latency_growth = SWEEP[-1]["incremental_p50_ms"] / SWEEP[0]["incremental_p50_ms"]
+    assert latency_growth < pool_growth / 2.0, (
+        f"incremental latency grew {latency_growth:.1f}x over a "
+        f"{pool_growth:.0f}x pool increase — not sub-linear"
+    )
 
 
 def test_zzz_render_throughput(benchmark):
     def render():
-        single = next(r for r in ROWS if r[0] == "single-row")
-        batched = next(r for r in ROWS if r[0] == "micro-batched")
-        speedup = batched[2] / single[2]
+        single_full = next(r for r in ROWS if r[0] == "single-row full-graph")
+        single_inc = next(r for r in ROWS if r[0] == "single-row incremental")
+        batched = next(r for r in ROWS if r[0] == "micro-batched full-graph")
+        batch_speedup = batched[2] / single_full[2]
+        inc_speedup = single_full[3] / single_inc[3]
+        table_rows = [list(r) for r in ROWS] + [
+            [f"sweep pool={p['pool_rows']} full", 1, "-", p["full_p50_ms"], "-"]
+            for p in SWEEP
+        ] + [
+            [f"sweep pool={p['pool_rows']} incr", 1, "-", p["incremental_p50_ms"], "-"]
+            for p in SWEEP
+        ]
         text = record_table(
             "serving_throughput",
-            "Serving throughput: single-row vs micro-batched inference",
+            "Serving throughput: full-graph vs incremental vs micro-batched",
             ["mode", "max batch", "rows/sec", "p50 (ms)", "p95 (ms)"],
-            [list(r) for r in ROWS],
+            table_rows,
             note=(
                 f"pool={POOL_ROWS} rows, {N_REQUESTS} requests; "
-                f"micro-batched speedup = {speedup:.1f}x (bar: >= 5x)"
+                f"micro-batched speedup = {batch_speedup:.1f}x (bar: >= 5x); "
+                f"incremental p50 speedup = {inc_speedup:.1f}x; sweep pools "
+                f"{SWEEP_POOLS} with >= 3x bar from 2000 rows"
             ),
         )
-        assert speedup >= 5.0, f"micro-batching speedup {speedup:.1f}x below 5x bar"
+        payload = {
+            "pool_rows": POOL_ROWS,
+            "n_requests": N_REQUESTS,
+            "modes": [
+                {
+                    "mode": mode,
+                    "max_batch": int(max_batch),
+                    "rows_per_sec": float(rps),
+                    "p50_ms": float(p50),
+                    "p95_ms": float(p95),
+                }
+                for mode, max_batch, rps, p50, p95 in ROWS
+            ],
+            "microbatch_speedup": float(batch_speedup),
+            "incremental_p50_speedup": float(inc_speedup),
+            "pool_scaling": SWEEP,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_serving.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        assert batch_speedup >= 5.0, (
+            f"micro-batching speedup {batch_speedup:.1f}x below 5x bar"
+        )
         return text
 
     once(benchmark, render)

@@ -39,7 +39,12 @@ from repro.construction.learned import (
     dense_gcn_norm,
     topk_sparsify,
 )
-from repro.construction.retrieval import retrieval_augmented_graph
+from repro.construction.retrieval import (
+    PoolIndex,
+    cross_similarity,
+    retrieval_augmented_graph,
+    retrieve_neighbors,
+)
 
 __all__ = [
     "SIMILARITIES",
@@ -61,5 +66,8 @@ __all__ = [
     "NeuralGraphLearner",
     "dense_gcn_norm",
     "topk_sparsify",
+    "PoolIndex",
+    "cross_similarity",
     "retrieval_augmented_graph",
+    "retrieve_neighbors",
 ]

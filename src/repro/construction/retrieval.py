@@ -32,34 +32,87 @@ def cross_similarity(
     block rather than the full stack; the kernel is monotone in distance,
     so top-k neighbor rankings are unchanged.)
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    pool = np.asarray(pool, dtype=np.float64)
-    if measure == "inner":
-        return queries @ pool.T
-    if measure == "cosine":
-        qn = queries / np.maximum(np.linalg.norm(queries, axis=1, keepdims=True), 1e-12)
-        pn = pool / np.maximum(np.linalg.norm(pool, axis=1, keepdims=True), 1e-12)
-        return qn @ pn.T
-    if measure == "pearson":
-        return cross_similarity(
-            queries - queries.mean(axis=1, keepdims=True),
-            pool - pool.mean(axis=1, keepdims=True),
-            "cosine",
-        )
-    if measure in ("euclidean", "rbf", "heat"):
-        sq = (queries**2).sum(axis=1)[:, None] + (pool**2).sum(axis=1)[None, :]
-        d = np.sqrt(np.maximum(sq - 2.0 * (queries @ pool.T), 0.0))
-        if measure == "euclidean":
-            return -d
-        if measure == "heat":
-            return np.exp(-(d**2))
-        positive = d[d > 0]
-        median = np.median(positive) if positive.size else 1.0
-        gamma = 1.0 / max(2.0 * median**2, 1e-12)
-        return np.exp(-gamma * d**2)
-    # Fall back to the generic stacked path for exotic measures.
-    stacked = np.concatenate([queries, pool], axis=0)
-    return pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
+    return PoolIndex(pool, measure).similarity(queries)
+
+
+class PoolIndex:
+    """A frozen retrieval pool with its measure-specific terms precomputed.
+
+    The pool-side quantities (row norms for ``cosine``, squared norms for
+    the distance family, row means for ``pearson``) never change between
+    serving requests, so they are hoisted to construction time: a request
+    only pays for the query-side terms plus one ``(B, N)`` matmul.
+    :func:`cross_similarity` is a one-shot wrapper over this class, so the
+    two are the same math by construction — top-k neighbor sets, ties
+    included, match exactly.
+    """
+
+    _DISTANCE_MEASURES = ("euclidean", "rbf", "heat")
+
+    def __init__(self, pool: np.ndarray, measure: str = "cosine") -> None:
+        pool = np.asarray(pool, dtype=np.float64)
+        if pool.ndim != 2 or pool.shape[0] == 0:
+            raise ValueError("pool must be a non-empty (N, d) matrix")
+        self.pool = pool
+        self.measure = measure
+        self._pool_t: Optional[np.ndarray] = None
+        self._pool_sq: Optional[np.ndarray] = None
+        if measure == "inner":
+            self._pool_t = pool.T
+        elif measure in ("cosine", "pearson"):
+            centered = (
+                pool - pool.mean(axis=1, keepdims=True)
+                if measure == "pearson"
+                else pool
+            )
+            norms = np.maximum(
+                np.linalg.norm(centered, axis=1, keepdims=True), 1e-12
+            )
+            self._pool_t = (centered / norms).T
+        elif measure in self._DISTANCE_MEASURES:
+            self._pool_t = pool.T
+            self._pool_sq = (pool**2).sum(axis=1)
+
+    @property
+    def size(self) -> int:
+        return int(self.pool.shape[0])
+
+    def similarity(self, queries: np.ndarray) -> np.ndarray:
+        """(B, N) similarity block against the frozen pool."""
+        queries = np.asarray(queries, dtype=np.float64)
+        measure = self.measure
+        if measure == "inner":
+            return queries @ self._pool_t
+        if measure in ("cosine", "pearson"):
+            if measure == "pearson":
+                queries = queries - queries.mean(axis=1, keepdims=True)
+            qn = queries / np.maximum(
+                np.linalg.norm(queries, axis=1, keepdims=True), 1e-12
+            )
+            return qn @ self._pool_t
+        if measure in self._DISTANCE_MEASURES:
+            sq = (queries**2).sum(axis=1)[:, None] + self._pool_sq[None, :]
+            d = np.sqrt(np.maximum(sq - 2.0 * (queries @ self._pool_t), 0.0))
+            if measure == "euclidean":
+                return -d
+            if measure == "heat":
+                return np.exp(-(d**2))
+            positive = d[d > 0]
+            median = np.median(positive) if positive.size else 1.0
+            gamma = 1.0 / max(2.0 * median**2, 1e-12)
+            return np.exp(-gamma * d**2)
+        # Fall back to the generic stacked path for exotic measures.
+        stacked = np.concatenate([queries, self.pool], axis=0)
+        return pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
+
+    def top_k(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Indices (B, k) of each query's top-k pool rows, best first."""
+        if not 1 <= k <= self.size:
+            raise ValueError(f"k must be in [1, pool size], got {k}")
+        sim = self.similarity(queries)
+        top = np.argpartition(sim, kth=self.size - k, axis=1)[:, -k:]
+        order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
+        return np.take_along_axis(top, order, axis=1)
 
 
 def retrieve_neighbors(
@@ -68,15 +121,12 @@ def retrieve_neighbors(
     k: int,
     measure: str = "cosine",
 ) -> np.ndarray:
-    """Indices (len(queries), k) of each query's top-k pool rows."""
-    queries = np.asarray(queries, dtype=np.float64)
-    pool = np.asarray(pool, dtype=np.float64)
-    if not 1 <= k <= pool.shape[0]:
-        raise ValueError(f"k must be in [1, pool size], got {k}")
-    sim = cross_similarity(queries, pool, measure)
-    top = np.argpartition(sim, kth=pool.shape[0] - k, axis=1)[:, -k:]
-    order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
-    return np.take_along_axis(top, order, axis=1)
+    """Indices (len(queries), k) of each query's top-k pool rows.
+
+    One-shot convenience wrapper; callers issuing repeated queries against
+    the same pool should build a :class:`PoolIndex` once instead.
+    """
+    return PoolIndex(pool, measure).top_k(queries, k)
 
 
 def retrieval_augmented_graph(

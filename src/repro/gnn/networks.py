@@ -27,6 +27,11 @@ from repro.tensor import Tensor, ops
 class _NodeNetwork(nn.Module):
     """Shared plumbing: feature tensor, dropout, view overrides."""
 
+    #: Whether the stack supports :meth:`propagate_queries` — scoring query
+    #: rows attached to the construction graph by directed pool→query edges
+    #: without re-running the pool.  Overridden by the operator-based stacks.
+    supports_incremental = False
+
     def __init__(self, graph: Graph, rng: np.random.Generator, dropout: float) -> None:
         super().__init__()
         if graph.x is None:
@@ -50,6 +55,7 @@ class _ConvStack(_NodeNetwork):
     """Common forward/embed loop for operator-based conv stacks."""
 
     activation = staticmethod(ops.relu)
+    supports_incremental = True
 
     def forward(self, x: Optional[Tensor] = None) -> Tensor:
         h = self._input(x)
@@ -68,6 +74,83 @@ class _ConvStack(_NodeNetwork):
     @property
     def embed_dim(self) -> int:
         return int(self._embed_dim)
+
+    # -- incremental query propagation ---------------------------------
+    #
+    # The serving engine attaches B query rows to the *frozen* construction
+    # graph ("the pool") with directed pool→query edges only.  Under that
+    # topology no message ever flows query→pool, so every pool node's
+    # activation at every layer is exactly what a pool-only forward
+    # produces — request-invariant and cacheable.  A query's in-edges are
+    # its k retrieved neighbors (plus, for GCN, the implicit self loop),
+    # with closed-form normalization, so the query rows of each layer can
+    # be computed from the cached pool activations in O(B·k·d) — no spmm,
+    # no (pool + B)-sized anything.
+
+    def pool_hidden_states(self) -> list[np.ndarray]:
+        """Per-layer conv *inputs* on the construction graph, eval-mode.
+
+        ``hiddens[i]`` is the ``(N, d_i)`` input :attr:`convs`\\ ``[i]``
+        sees when :meth:`forward` runs on the frozen pool (dropout
+        inactive).  Compute once at serving init, pass to every
+        :meth:`propagate_queries` call.
+        """
+        hiddens = [self.x.data]
+        h = self.x
+        for conv in self.convs[:-1]:
+            h = self.activation(conv(h, self._adj))
+            hiddens.append(h.data)
+        return hiddens
+
+    def propagate_queries(
+        self,
+        features: np.ndarray,
+        neighbor_idx: np.ndarray,
+        pool_hiddens: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Logits ``(B, out_dim)`` for query rows attached to the pool.
+
+        ``features`` is the ``(B, d_0)`` query feature block, ``neighbor_idx``
+        the ``(B, k)`` indices of each query's retrieved pool neighbors, and
+        ``pool_hiddens`` the cache from :meth:`pool_hidden_states`.  Matches
+        a full forward over the (pool + queries) graph with directed
+        pool→query attach edges to floating-point round-off.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        neighbor_idx = np.asarray(neighbor_idx, dtype=np.int64)
+        n_pool = self.graph.num_nodes
+        if features.ndim != 2 or features.shape[1] != self.x.shape[1]:
+            raise ValueError(
+                f"features must be (B, {self.x.shape[1]}), got {features.shape}"
+            )
+        if (
+            neighbor_idx.ndim != 2
+            or neighbor_idx.shape[0] != features.shape[0]
+            or neighbor_idx.size == 0
+        ):
+            raise ValueError("neighbor_idx must be a non-empty (B, k) array")
+        if neighbor_idx.min() < 0 or neighbor_idx.max() >= n_pool:
+            raise ValueError(f"neighbor indices must be in [0, {n_pool})")
+        if len(pool_hiddens) != len(self.convs):
+            raise ValueError(
+                f"pool_hiddens has {len(pool_hiddens)} layers, "
+                f"stack has {len(self.convs)}"
+            )
+        h = features
+        for i, conv in enumerate(self.convs):
+            h = self._query_layer(conv, h, neighbor_idx, pool_hiddens[i])
+            if i < len(self.convs) - 1:
+                h = self.activation(Tensor(h)).data
+        return h
+
+    def _query_layer(
+        self,
+        conv: nn.Module,
+        h: np.ndarray,
+        neighbor_idx: np.ndarray,
+        pool_h: np.ndarray,
+    ) -> np.ndarray:
+        raise NotImplementedError
 
 
 class GCN(_ConvStack):
@@ -88,6 +171,30 @@ class GCN(_ConvStack):
             [GCNConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
         )
         self._embed_dim = widths[-2]
+        self._inv_sqrt_deg: Optional[np.ndarray] = None
+
+    def _query_layer(self, conv, h, neighbor_idx, pool_h):
+        # Query row of D^-1/2 (A+I) D^-1/2 @ (X W + b): the query's degree
+        # is exactly k+1 (k attach edges + self loop) and pool degrees are
+        # untouched by the directed attach edges, so the row is
+        #   (1/(k+1)) z_q  +  (k+1)^-1/2 · Σ_p d_p^-1/2 z_p.
+        # Aggregating features before the affine map turns that into one
+        # (B, d_in) @ W matmul plus a per-row bias coefficient.
+        if self._inv_sqrt_deg is None:
+            degrees = (
+                np.asarray(self.graph.adjacency().sum(axis=1)).reshape(-1) + 1.0
+            )
+            self._inv_sqrt_deg = 1.0 / np.sqrt(degrees)
+        k = neighbor_idx.shape[1]
+        inv_dq = 1.0 / (k + 1.0)
+        neighbor_w = self._inv_sqrt_deg[neighbor_idx]  # (B, k)
+        agg = (pool_h[neighbor_idx] * neighbor_w[..., None]).sum(axis=1)
+        x_mix = inv_dq * h + np.sqrt(inv_dq) * agg
+        out = x_mix @ conv.linear.weight.data
+        if conv.linear.bias is not None:
+            bias_coeff = inv_dq + np.sqrt(inv_dq) * neighbor_w.sum(axis=1)
+            out = out + bias_coeff[:, None] * conv.linear.bias.data
+        return out
 
 
 class GraphSAGE(_ConvStack):
@@ -109,6 +216,12 @@ class GraphSAGE(_ConvStack):
         )
         self._embed_dim = widths[-2]
 
+    def _query_layer(self, conv, h, neighbor_idx, pool_h):
+        # Query row of D^-1 A is a plain mean over the k retrieved
+        # neighbors (no self loop — self enters via the concatenation).
+        neighbor_mean = pool_h[neighbor_idx].mean(axis=1)
+        return conv.linear(Tensor(np.concatenate([h, neighbor_mean], axis=1))).data
+
 
 class GIN(_ConvStack):
     """Multi-layer GIN [151] with sum aggregation."""
@@ -128,6 +241,13 @@ class GIN(_ConvStack):
             [GINConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
         )
         self._embed_dim = widths[-2]
+
+    def _query_layer(self, conv, h, neighbor_idx, pool_h):
+        # GIN sums (unnormalized adjacency); the query's incoming messages
+        # are exactly its k retrieved neighbors.
+        neighbor_sum = pool_h[neighbor_idx].sum(axis=1)
+        pre = (1.0 + conv.eps.data) * h + neighbor_sum
+        return conv.mlp(Tensor(pre)).data
 
 
 class GAT(_NodeNetwork):

@@ -7,7 +7,7 @@ GNN layers in :mod:`repro.gnn` consume.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -73,6 +73,10 @@ class Graph:
         self.masks: Dict[str, np.ndarray] = {}
         for name, mask in (masks or {}).items():
             self.set_mask(name, mask)
+        # Structure is immutable after construction (transforms return new
+        # Graphs), so the normalized operators can be built once and shared.
+        # Callers must treat the returned matrices as read-only.
+        self._operator_cache: Dict[Tuple[str, bool], sp.csr_matrix] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -134,33 +138,50 @@ class Graph:
         """Plain (weighted) adjacency ``A`` with ``A[dst, src] = w``.
 
         Oriented so that ``A @ X`` aggregates *incoming* messages, matching
-        the ``aggregate`` step of Sec. 2.3.
+        the ``aggregate`` step of Sec. 2.3.  Memoized (structure is frozen
+        at construction); treat the result as read-only.
         """
-        weights = (
-            self.edge_weight
-            if self.edge_weight is not None
-            else np.ones(self.num_edges)
-        )
-        return sp.csr_matrix(
-            (weights, (self.edge_index[1], self.edge_index[0])),
-            shape=(self.num_nodes, self.num_nodes),
-        )
+        key = ("adjacency", False)
+        if key not in self._operator_cache:
+            weights = (
+                self.edge_weight
+                if self.edge_weight is not None
+                else np.ones(self.num_edges)
+            )
+            self._operator_cache[key] = sp.csr_matrix(
+                (weights, (self.edge_index[1], self.edge_index[0])),
+                shape=(self.num_nodes, self.num_nodes),
+            )
+        return self._operator_cache[key]
 
     def gcn_adjacency(self) -> sp.csr_matrix:
-        """Symmetric-normalized adjacency with self loops: D^-1/2 (A+I) D^-1/2."""
-        adj = self.adjacency()
-        adj = adj + sp.eye(self.num_nodes, format="csr")
-        degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
-        d_mat = sp.diags(utils.safe_reciprocal(degrees, power=0.5))
-        return (d_mat @ adj @ d_mat).tocsr()
+        """Symmetric-normalized adjacency with self loops: D^-1/2 (A+I) D^-1/2.
+
+        Memoized; treat the result as read-only.
+        """
+        key = ("gcn", False)
+        if key not in self._operator_cache:
+            adj = self.adjacency() + sp.eye(self.num_nodes, format="csr")
+            degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+            d_mat = sp.diags(utils.safe_reciprocal(degrees, power=0.5))
+            self._operator_cache[key] = (d_mat @ adj @ d_mat).tocsr()
+        return self._operator_cache[key]
 
     def mean_adjacency(self, add_self_loops: bool = False) -> sp.csr_matrix:
-        """Row-normalized adjacency D^-1 A (mean aggregation, GraphSAGE)."""
-        adj = self.adjacency()
-        if add_self_loops:
-            adj = adj + sp.eye(self.num_nodes, format="csr")
-        degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
-        return (sp.diags(utils.safe_reciprocal(degrees)) @ adj).tocsr()
+        """Row-normalized adjacency D^-1 A (mean aggregation, GraphSAGE).
+
+        Memoized per ``add_self_loops`` value; treat the result as read-only.
+        """
+        key = ("mean", bool(add_self_loops))
+        if key not in self._operator_cache:
+            adj = self.adjacency()
+            if add_self_loops:
+                adj = adj + sp.eye(self.num_nodes, format="csr")
+            degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+            self._operator_cache[key] = (
+                sp.diags(utils.safe_reciprocal(degrees)) @ adj
+            ).tocsr()
+        return self._operator_cache[key]
 
     # ------------------------------------------------------------------
     # conversions

@@ -9,7 +9,10 @@ request-serving:
   frozen training pool, persisted as ``.npz`` + JSON sidecar;
 * :mod:`repro.serving.engine` — :class:`InferenceEngine`, inductive scoring
   of unseen rows by linking them into the frozen pool via retrieval
-  (survey Sec. 4.2.4), with a bounded LRU prediction cache;
+  (survey Sec. 4.2.4), with a bounded LRU prediction cache.  For the
+  operator-based stacks (GCN/GraphSAGE/GIN) the engine precomputes the
+  pool's per-layer activations once and propagates only the query rows per
+  request — O(B·k·d), independent of pool size;
 * :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
   concurrent single-row requests into vectorized engine calls;
 * :mod:`repro.serving.server` — :class:`PredictionServer`, a stdlib-only

@@ -35,6 +35,27 @@ _POOL = "pool::"
 ARTIFACT_FORMAT_VERSION = 1
 
 
+class _SkipInitGenerator:
+    """Generator stand-in that skips random weight initialization.
+
+    :meth:`ModelArtifact.build_model` instantiates the architecture only to
+    immediately overwrite every parameter via ``load_state_dict`` (which is
+    strict about missing/unexpected names, so nothing survives the
+    overwrite).  Drawing Glorot samples for weights that are about to be
+    discarded is pure waste on the serving path; this stub returns zeros
+    with the right shapes instead.  Only the two Generator methods the
+    initializers in :mod:`repro.tensor.init` use are provided.
+    """
+
+    @staticmethod
+    def uniform(low=0.0, high=1.0, size=None):
+        return np.zeros(() if size is None else size)
+
+    @staticmethod
+    def normal(loc=0.0, scale=1.0, size=None):
+        return np.zeros(() if size is None else size)
+
+
 def _paths(path: Union[str, pathlib.Path]) -> Tuple[pathlib.Path, pathlib.Path]:
     """Resolve ``(npz_path, json_sidecar_path)`` from a user-supplied path."""
     path = pathlib.Path(path)
@@ -111,15 +132,19 @@ class ModelArtifact:
             raise ValueError(f"{self.formulation!r} artifact carries no pool graph")
         return Graph(self.pool_x.shape[0], self.pool_edge_index, x=self.pool_x)
 
-    def build_model(self, graph: Optional[Graph] = None) -> nn.Module:
+    def build_model(
+        self, graph: Optional[Graph] = None, skip_init: bool = True
+    ) -> nn.Module:
         """Instantiate the architecture, load the weights, switch to eval.
 
         Instance-graph networks precompute their propagation operator from
-        the graph at construction, so the caller passes the (pool + queries)
-        graph each time; feature-graph models are graph-free and can be
-        built once and reused.
+        the graph at construction, so the caller passes the induced graph;
+        feature-graph models are graph-free and can be built once and
+        reused.  ``skip_init`` (the default) zero-fills the freshly
+        constructed parameters instead of drawing random initial weights —
+        they are overwritten by ``load_state_dict`` either way.
         """
-        rng = np.random.default_rng(0)
+        rng = _SkipInitGenerator() if skip_init else np.random.default_rng(0)
         if self.formulation == "instance":
             if graph is None:
                 graph = self.pool_graph()

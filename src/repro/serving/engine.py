@@ -5,19 +5,43 @@ The transductive pipelines score exactly the rows they were trained on.
 formulations:
 
 * **instance** — unseen rows are preprocessed with the artifact's frozen
-  statistics, linked into the frozen training pool via
-  :func:`repro.construction.retrieval.retrieve_neighbors` (PET-style
-  retrieval, survey Sec. 4.2.4), and scored by running the GNN in eval mode
-  over the induced (pool + queries) graph.  Pool nodes never change, and
-  query nodes never connect to each other, so requests are independent.
+  statistics, linked into the frozen training pool via retrieval
+  (PET-style, survey Sec. 4.2.4), and scored by the GNN in eval mode.
 * **feature** — the feature-graph model is row-wise by construction; rows
   are tokenized with the frozen field statistics and scored directly.
 
+Incremental query propagation
+-----------------------------
+Attach edges are *directed* pool→query, so no message ever flows from a
+query into the pool: every pool node's activation at every GNN layer is
+identical to a pool-only forward, whatever the request.  The engine
+exploits that at construction time (the precompute step):
+
+1. build the model **once** on the pool graph (memoized adjacency
+   operators, weights loaded without wasted random init);
+2. run **one** full forward over the pool and cache the per-layer pool
+   hidden states (:meth:`~repro.gnn.networks._ConvStack.pool_hidden_states`);
+3. build a :class:`~repro.construction.retrieval.PoolIndex` so retrieval
+   stops re-deriving pool norms per request.
+
+Per request (the propagate step), only the B query rows are computed: each
+query aggregates its k retrieved neighbors from the cached activations
+with closed-form degree normalization — the directed attach edges leave
+every pool degree untouched, and a query's in-degree is exactly k (plus
+the GCN self loop).  Per-request cost is **O(B·k·d) — independent of pool
+size** — versus the full-graph path's O(pool + E + B·k) graph rebuild,
+re-normalization and pool re-forward.  Supported for the operator-based
+stacks (GCN/GraphSAGE/GIN); attention/gated networks (GAT, GatedGNN) fall
+back to the full-graph path, which is also kept as a correctness oracle
+(``incremental=False``) — the two paths agree to floating-point round-off.
+
 Repeated rows are memoized in a bounded LRU cache keyed on the raw row
 bytes, so hot rows (the head of a production traffic distribution) skip
-the forward pass entirely.  Batch scoring deduplicates rows *within* the
-batch as well, which is what makes the micro-batcher's coalescing
-worthwhile under skewed traffic.
+the forward pass entirely.  Cached probability arrays are marked
+read-only before they are stored, so a caller mutating a returned array
+cannot silently corrupt the cache.  Batch scoring deduplicates rows
+*within* the batch as well, which is what makes the micro-batcher's
+coalescing worthwhile under skewed traffic.
 """
 
 from __future__ import annotations
@@ -28,7 +52,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.construction.retrieval import retrieve_neighbors
+from repro.construction.retrieval import PoolIndex
 from repro.graph.homogeneous import Graph
 from repro.serving.artifact import ModelArtifact
 
@@ -49,16 +73,27 @@ class InferenceEngine:
     cache_size:
         Maximum number of distinct rows memoized in the LRU prediction
         cache; ``0`` disables caching.
+    incremental:
+        ``None`` (default) uses incremental query propagation whenever the
+        artifact's network supports it and falls back to the full-graph
+        path otherwise; ``True`` requires it (raises ``ValueError`` for
+        unsupported networks); ``False`` forces the full-graph oracle path.
 
     Notes
     -----
-    Cached probability arrays are returned *by reference* (a cache hit is
-    the identical array, no copy, no forward pass) — treat them as
-    read-only.  The engine is thread-safe: a lock serializes scoring, which
-    matches the micro-batcher's single consumer model.
+    Cache hits return the stored array itself (no copy, no forward pass);
+    cached arrays are marked read-only so accidental mutation raises
+    instead of corrupting the cache.  The engine is thread-safe: a lock
+    serializes scoring, which matches the micro-batcher's single consumer
+    model.
     """
 
-    def __init__(self, artifact: ModelArtifact, cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        cache_size: int = 256,
+        incremental: Optional[bool] = None,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         self.artifact = artifact
@@ -72,12 +107,36 @@ class InferenceEngine:
             "forward_rows": 0,
         }
         if artifact.formulation == "feature":
+            if incremental:
+                raise ValueError(
+                    "feature-formulation artifacts have no pool graph to "
+                    "propagate from; use incremental=None/False"
+                )
             # Graph-free: build once, reuse for every request.
             self._model = artifact.build_model()
+            self.incremental = False
         else:
-            self._model = None
             self._pool_x = np.asarray(artifact.pool_x, dtype=np.float64)
             self._pool_edges = artifact.pool_edge_index.astype(np.int64)
+            self._pool_graph = artifact.pool_graph()
+            # One model for the engine's lifetime, built on the pool graph.
+            # The incremental path scores queries through it directly; the
+            # full-graph path only borrows its weights.
+            self._model = artifact.build_model(self._pool_graph)
+            self._pool_index = PoolIndex(
+                self._pool_x,
+                measure=str(artifact.config.get("metric", "euclidean")),
+            )
+            supported = bool(getattr(self._model, "supports_incremental", False))
+            if incremental and not supported:
+                raise ValueError(
+                    f"network {artifact.network!r} does not support incremental "
+                    "query propagation; use incremental=None/False"
+                )
+            self.incremental = supported if incremental is None else bool(incremental)
+            if self.incremental:
+                # The precompute step: one pool-only forward, cached forever.
+                self._pool_hiddens = self._model.pool_hidden_states()
 
     # ------------------------------------------------------------------
     @property
@@ -94,6 +153,29 @@ class InferenceEngine:
         return (num_row.tobytes(), cat_row.tobytes())
 
     # ------------------------------------------------------------------
+    def _forward_full(
+        self, features: np.ndarray, neighbors: np.ndarray
+    ) -> np.ndarray:
+        """Correctness-oracle path: rebuild the (pool + queries) graph.
+
+        Pays O(pool + E) per request — kept for networks without
+        incremental support and as the reference the incremental path is
+        tested against.
+        """
+        batch = features.shape[0]
+        n_pool = self._pool_x.shape[0]
+        k = neighbors.shape[1]
+        query_ids = n_pool + np.arange(batch, dtype=np.int64)
+        attach = np.stack([neighbors.reshape(-1), np.repeat(query_ids, k)])
+        edge_index = np.concatenate([self._pool_edges, attach], axis=1)
+        graph = Graph(
+            n_pool + batch,
+            edge_index,
+            x=np.concatenate([self._pool_x, features], axis=0),
+        )
+        model = self.artifact.build_model(graph)
+        return model().data[n_pool:]
+
     def _forward(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
         """One vectorized forward pass over a (B, …) row batch → (B, C) probs."""
         features = self.artifact.preprocessor.transform(numerical, categorical)
@@ -102,35 +184,28 @@ class InferenceEngine:
             model.eval()
             logits = model(features).data
         else:
-            batch = features.shape[0]
             n_pool = self._pool_x.shape[0]
             k = min(int(self.artifact.config["k"]), n_pool)
-            neighbors = retrieve_neighbors(
-                features,
-                self._pool_x,
-                k,
-                measure=str(self.artifact.config.get("metric", "euclidean")),
-            )
             # Directed pool→query attachment edges: queries aggregate from
             # their retrieved neighbors but leave every pool node's degree
             # (and hence the GNN's normalization over the pool) untouched.
             # Predictions are therefore exactly independent of which other
             # queries share the batch — safe to micro-batch and to memoize.
-            query_ids = n_pool + np.arange(batch, dtype=np.int64)
-            attach = np.stack(
-                [neighbors.reshape(-1), np.repeat(query_ids, k)]
-            )
-            edge_index = np.concatenate([self._pool_edges, attach], axis=1)
-            graph = Graph(
-                n_pool + batch,
-                edge_index,
-                x=np.concatenate([self._pool_x, features], axis=0),
-            )
-            model = self.artifact.build_model(graph)
-            logits = model().data[n_pool:]
+            neighbors = self._pool_index.top_k(features, k)
+            if self.incremental:
+                logits = self._model.propagate_queries(
+                    features, neighbors, self._pool_hiddens
+                )
+            else:
+                logits = self._forward_full(features, neighbors)
         self.stats["forward_passes"] += 1
         self.stats["forward_rows"] += features.shape[0]
-        return _softmax(logits)
+        probs = _softmax(logits)
+        # Rows of this array end up in the LRU cache and are returned by
+        # reference; freeze them so caller mutation raises instead of
+        # corrupting cached entries.
+        probs.flags.writeable = False
+        return probs
 
     # ------------------------------------------------------------------
     def predict_batch(
@@ -179,7 +254,8 @@ class InferenceEngine:
     ) -> np.ndarray:
         """(C,) class probabilities for one raw row.
 
-        A cache hit returns the stored array itself — no forward pass.
+        A cache hit returns the stored (read-only) array itself — no
+        forward pass.
         """
         numerical, categorical = self._normalize(numerical, categorical)
         if numerical.shape[0] != 1:
