@@ -10,8 +10,10 @@ Three claims are measured on the instance formulation:
   single-row request — bar: >= 3x lower latency at pool >= 2000 rows, with
   predictions matching the full-graph oracle within 1e-8;
 * incremental per-request latency is **near-flat in pool size**, measured
-  by a pool-scaling sweep — bar: sub-linear (latency growth well below the
-  pool growth factor).
+  by a pool-scaling sweep over the operator, attention and gated families
+  (GCN, GAT, GatedGNN — the edge-wise substrate makes the fast path
+  network-agnostic) — bar: sub-linear for every family (latency growth
+  well below the pool growth factor).
 
 Alongside the human-readable table, results are persisted as
 ``benchmarks/results/BENCH_serving.json`` (rows/sec, p50/p95 latency, and
@@ -36,6 +38,7 @@ from repro.serving import InferenceEngine, MicroBatcher, ModelArtifact
 N_REQUESTS = 192
 POOL_ROWS = 600
 SWEEP_POOLS = (500, 1000, 2000, 4000)
+SWEEP_NETWORKS = ("gcn", "gat", "gated")
 SWEEP_REQUESTS = 24
 ROWS = []
 SWEEP = []
@@ -61,7 +64,7 @@ def _setup():
     )
 
 
-def _sweep_artifact(pool_rows):
+def _sweep_artifact(pool_rows, network="gcn"):
     """Untrained (random-weight) artifact over a ``pool_rows``-row pool.
 
     Latency does not depend on the weight values, so skipping training keeps
@@ -72,12 +75,12 @@ def _sweep_artifact(pool_rows):
     x = prep.transform_dataset(dataset)
     graph = knn_graph(x, k=10, metric="euclidean", y=dataset.y)
     model = build_network(
-        "gcn", graph, 32, dataset.num_classes, np.random.default_rng(0),
+        network, graph, 32, dataset.num_classes, np.random.default_rng(0),
         num_layers=2,
     )
     artifact = ModelArtifact(
         formulation="instance",
-        network="gcn",
+        network=network,
         config={
             "hidden_dim": 32,
             "out_dim": dataset.num_classes,
@@ -169,45 +172,53 @@ def test_micro_batched_throughput(benchmark):
 
 def test_pool_scaling_sweep(benchmark):
     def sweep():
-        for pool_rows in SWEEP_POOLS:
-            artifact, requests = _sweep_artifact(pool_rows)
-            full = InferenceEngine(artifact, cache_size=0, incremental=False)
-            inc = InferenceEngine(artifact, cache_size=0, incremental=True)
-            # Correctness first: incremental must match the oracle.
-            diff = float(
-                np.abs(
-                    inc.predict_batch(requests) - full.predict_batch(requests)
-                ).max()
-            )
-            assert diff < 1e-8, f"pool={pool_rows}: parity broken ({diff:.2e})"
-            _, full_lat = _time_single_rows(full, requests)
-            _, inc_lat = _time_single_rows(inc, requests)
-            full_p50, _ = _percentiles(full_lat)
-            inc_p50, _ = _percentiles(inc_lat)
-            SWEEP.append(
-                {
-                    "pool_rows": pool_rows,
-                    "full_p50_ms": full_p50,
-                    "incremental_p50_ms": inc_p50,
-                    "speedup": full_p50 / inc_p50,
-                    "max_abs_diff": diff,
-                }
-            )
+        for network in SWEEP_NETWORKS:
+            for pool_rows in SWEEP_POOLS:
+                artifact, requests = _sweep_artifact(pool_rows, network)
+                full = InferenceEngine(artifact, cache_size=0, incremental=False)
+                inc = InferenceEngine(artifact, cache_size=0, incremental=True)
+                # Correctness first: incremental must match the oracle.
+                diff = float(
+                    np.abs(
+                        inc.predict_batch(requests) - full.predict_batch(requests)
+                    ).max()
+                )
+                assert diff < 1e-8, (
+                    f"{network} pool={pool_rows}: parity broken ({diff:.2e})"
+                )
+                _, full_lat = _time_single_rows(full, requests)
+                _, inc_lat = _time_single_rows(inc, requests)
+                full_p50, _ = _percentiles(full_lat)
+                inc_p50, _ = _percentiles(inc_lat)
+                SWEEP.append(
+                    {
+                        "network": network,
+                        "pool_rows": pool_rows,
+                        "full_p50_ms": full_p50,
+                        "incremental_p50_ms": inc_p50,
+                        "speedup": full_p50 / inc_p50,
+                        "max_abs_diff": diff,
+                    }
+                )
         return SWEEP
 
     once(benchmark, sweep)
     for point in SWEEP:
         if point["pool_rows"] >= 2000:
             assert point["speedup"] >= 3.0, (
-                f"pool={point['pool_rows']}: incremental only "
+                f"{point['network']} pool={point['pool_rows']}: incremental only "
                 f"{point['speedup']:.1f}x faster (bar: >= 3x)"
             )
     pool_growth = SWEEP_POOLS[-1] / SWEEP_POOLS[0]
-    latency_growth = SWEEP[-1]["incremental_p50_ms"] / SWEEP[0]["incremental_p50_ms"]
-    assert latency_growth < pool_growth / 2.0, (
-        f"incremental latency grew {latency_growth:.1f}x over a "
-        f"{pool_growth:.0f}x pool increase — not sub-linear"
-    )
+    for network in SWEEP_NETWORKS:
+        curve = [p for p in SWEEP if p["network"] == network]
+        latency_growth = (
+            curve[-1]["incremental_p50_ms"] / curve[0]["incremental_p50_ms"]
+        )
+        assert latency_growth < pool_growth / 2.0, (
+            f"{network}: incremental latency grew {latency_growth:.1f}x over a "
+            f"{pool_growth:.0f}x pool increase — not sub-linear"
+        )
 
 
 def test_zzz_render_throughput(benchmark):
@@ -218,10 +229,16 @@ def test_zzz_render_throughput(benchmark):
         batch_speedup = batched[2] / single_full[2]
         inc_speedup = single_full[3] / single_inc[3]
         table_rows = [list(r) for r in ROWS] + [
-            [f"sweep pool={p['pool_rows']} full", 1, "-", p["full_p50_ms"], "-"]
+            [
+                f"sweep {p['network']} pool={p['pool_rows']} full",
+                1, "-", p["full_p50_ms"], "-",
+            ]
             for p in SWEEP
         ] + [
-            [f"sweep pool={p['pool_rows']} incr", 1, "-", p["incremental_p50_ms"], "-"]
+            [
+                f"sweep {p['network']} pool={p['pool_rows']} incr",
+                1, "-", p["incremental_p50_ms"], "-",
+            ]
             for p in SWEEP
         ]
         text = record_table(
@@ -233,7 +250,8 @@ def test_zzz_render_throughput(benchmark):
                 f"pool={POOL_ROWS} rows, {N_REQUESTS} requests; "
                 f"micro-batched speedup = {batch_speedup:.1f}x (bar: >= 5x); "
                 f"incremental p50 speedup = {inc_speedup:.1f}x; sweep pools "
-                f"{SWEEP_POOLS} with >= 3x bar from 2000 rows"
+                f"{SWEEP_POOLS} x networks {SWEEP_NETWORKS} with >= 3x bar "
+                f"from 2000 rows"
             ),
         )
         payload = {

@@ -1,12 +1,16 @@
 """Train → export artifact → reload → serve predictions for unseen rows.
 
-Demonstrates the full deployment path of ``repro.serving``:
+Demonstrates the full deployment path of ``repro.serving`` with a **GAT**
+pipeline — attention networks ride the same pool-size-independent
+incremental inference path as every other stack, because all conv
+families share one edge-wise ``propagate`` substrate:
 
-1. train an instance-graph pipeline on a synthetic table;
+1. train an instance-graph GAT pipeline on a synthetic table;
 2. export a :class:`~repro.serving.ModelArtifact` (weights + fitted
    preprocessing + frozen training pool) to ``.npz`` + JSON sidecar;
 3. reload it (as a fresh process would) and score rows the training graph
-   never contained, via the Python engine *and* the HTTP server.
+   never contained, via the Python engine *and* the HTTP server — and
+   check ``/healthz`` to confirm which inference path the deployment runs.
 
 Run with:  PYTHONPATH=src python examples/serving_quickstart.py
 """
@@ -21,9 +25,9 @@ from repro.datasets import make_correlated_instances
 from repro.pipeline import run_pipeline
 from repro.serving import InferenceEngine, ModelArtifact, PredictionServer
 
-# 1. Train.
+# 1. Train a graph-attention pipeline.
 dataset = make_correlated_instances(n=400, seed=0, cluster_strength=2.0)
-result = run_pipeline(dataset, formulation="instance", network="gcn",
+result = run_pipeline(dataset, formulation="instance", network="gat",
                       max_epochs=80, seed=0)
 print("trained:", result.as_row())
 
@@ -32,7 +36,9 @@ with tempfile.TemporaryDirectory() as tmp:
     path = result.export_artifact().save(f"{tmp}/model")
     print("artifact:", path.name, "+", path.with_suffix(".json").name)
 
-    # 3a. Reload and predict in-process on unseen rows.
+    # 3a. Reload and predict in-process on unseen rows.  The engine caches
+    # the pool activations once and scores queries in O(B·k·d) — the GAT
+    # softmax runs over just each query's k retrieved neighbors + itself.
     artifact = ModelArtifact.load(path)
     engine = InferenceEngine(artifact)
     rng = np.random.default_rng(7)
@@ -48,4 +54,7 @@ with tempfile.TemporaryDirectory() as tmp:
         with urllib.request.urlopen(request) as response:
             print("http /predict:     ", json.loads(response.read()))
         with urllib.request.urlopen(server.url + "/healthz") as response:
-            print("http /healthz:     ", json.loads(response.read())["status"])
+            health = json.loads(response.read())
+        print("http /healthz:     ", {k: health[k] for k in
+                                      ("status", "network", "incremental",
+                                       "pool_rows")})

@@ -4,6 +4,13 @@ The edge-feature pathway implements the survey's "Distance Preservation"
 design (Table 6, LUNAR [44]): per-edge scalars (e.g. neighbor distances)
 enter the attention logits through a learned projection, so the learned
 representation preserves distance information.
+
+Like the operator convs, GAT speaks the edge-wise substrate: ``propagate``
+consumes an :class:`~repro.graph.homogeneous.EdgeView` (flavor
+``"attention"`` — raw edges with self loops baked in at view-construction
+time, so frozen-graph training loops stop rebuilding the self-loop block
+every call).  ``forward(x, edge_index)`` is the compat path that derives a
+one-shot view from a raw edge index.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro import nn
+from repro.graph.homogeneous import EdgeView
 from repro.tensor import Tensor, ops
 from repro.tensor import init as tinit
 
@@ -29,8 +37,11 @@ class GATConv(nn.Module):
         If given, per-edge feature vectors of this width modulate attention.
     add_self_loops:
         Append one self loop per node (with zero edge features) so every
-        node attends at least to itself.
+        node attends at least to itself.  Only consulted by ``forward``;
+        ``propagate`` expects any loops to be baked into the view already.
     """
+
+    view_kind = "attention"
 
     def __init__(
         self,
@@ -66,21 +77,21 @@ class GATConv(nn.Module):
     def output_dim(self) -> int:
         return self.out_features * (self.num_heads if self.concat_heads else 1)
 
-    def forward(
+    def propagate(
         self,
         x: Tensor,
-        edge_index: np.ndarray,
+        view: EdgeView,
         edge_features: Optional[Tensor] = None,
     ) -> Tensor:
+        """Attention message passing over ``view`` (loops pre-baked).
+
+        Scores are normalized per destination with ``segment_softmax``, so
+        on a bipartite attach view each query's attention is a softmax over
+        exactly its k retrieved neighbors plus its self loop — the same
+        computation the full graph would produce for that node.
+        """
         num_nodes = x.shape[0]
-        edge_index = np.asarray(edge_index, dtype=np.int64)
-        if self.add_self_loops:
-            loops = np.tile(np.arange(num_nodes, dtype=np.int64), (2, 1))
-            edge_index = np.concatenate([edge_index, loops], axis=1)
-            if edge_features is not None:
-                zeros = Tensor(np.zeros((num_nodes, edge_features.shape[1])))
-                edge_features = ops.concat([edge_features, zeros], axis=0)
-        src, dst = edge_index[0], edge_index[1]
+        src, dst = view.src, view.dst
 
         h = ops.matmul(x, self.weight).reshape(num_nodes, self.num_heads, self.out_features)
         h_flat = h.reshape(num_nodes, self.num_heads * self.out_features)
@@ -97,12 +108,27 @@ class GATConv(nn.Module):
             scores = ops.add(scores, self.edge_proj(edge_features))
         scores = ops.leaky_relu(scores, self.negative_slope)
 
-        alpha = ops.segment_softmax(scores, dst, num_nodes)  # (E, heads)
+        alpha = ops.segment_softmax(scores, dst, view.num_nodes)  # (E, heads)
         weighted = ops.mul(h_src, alpha.reshape(len(src), self.num_heads, 1))
-        aggregated = ops.segment_sum(weighted, dst, num_nodes)  # (n, heads, out)
+        aggregated = ops.segment_sum(weighted, dst, view.num_nodes)  # (n, heads, out)
 
         if self.concat_heads:
-            out = aggregated.reshape(num_nodes, self.num_heads * self.out_features)
+            out = aggregated.reshape(view.num_nodes, self.num_heads * self.out_features)
         else:
             out = ops.mean(aggregated, axis=1)
         return ops.add(out, self.bias)
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_features: Optional[Tensor] = None,
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        view = EdgeView.from_edge_index(
+            edge_index, num_nodes, add_self_loops=self.add_self_loops
+        )
+        if self.add_self_loops and edge_features is not None:
+            zeros = Tensor(np.zeros((num_nodes, edge_features.shape[1])))
+            edge_features = ops.concat([edge_features, zeros], axis=0)
+        return self.propagate(x, view, edge_features)

@@ -1,8 +1,17 @@
 """Sparse homogeneous graph convolutions: GCN, GraphSAGE, GIN, GatedGraph.
 
-Each layer's ``forward`` takes the node-feature tensor plus the appropriate
-precomputed sparse operator (see :class:`repro.graph.Graph` adjacency
-methods), keeping layers stateless with respect to graph structure.
+Every layer speaks the edge-wise message-passing substrate: ``propagate``
+takes the node-state tensor plus an :class:`~repro.graph.homogeneous.EdgeView`
+of the appropriate flavor (declared by the layer's ``view_kind`` class
+attribute and memoized on the :class:`~repro.graph.Graph`).  Because the
+view is just "edges + optional coefficients", the same ``propagate`` runs
+on the full training graph and on the tiny bipartite attach view the
+serving engine builds per request — incremental inference needs no
+per-layer special cases.
+
+The legacy ``forward(x, adjacency)`` entry points (precomputed sparse
+operator) are kept for direct users (autoencoder, TabGNN, sampled
+training); on a full graph both paths compute identical numbers.
 """
 
 from __future__ import annotations
@@ -13,21 +22,27 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import nn
+from repro.graph.homogeneous import EdgeView
 from repro.tensor import Tensor, ops
-from repro.tensor import init as tinit
 
 
 class GCNConv(nn.Module):
     """Kipf-Welling graph convolution: ``A_hat @ X @ W + b``.
 
-    ``adjacency`` should be the symmetric-normalized operator from
-    :meth:`repro.graph.Graph.gcn_adjacency`.
+    Consumes the symmetric-normalized view/operator
+    (:meth:`repro.graph.Graph.edge_view` with ``"gcn"`` /
+    :meth:`repro.graph.Graph.gcn_adjacency`).
     """
+
+    view_kind = "gcn"
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
                  bias: bool = True) -> None:
         super().__init__()
         self.linear = nn.Linear(in_features, out_features, rng, bias=bias)
+
+    def propagate(self, x: Tensor, view: EdgeView) -> Tensor:
+        return view.aggregate(self.linear(x))
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         return ops.spmm(adjacency, self.linear(x))
@@ -36,14 +51,18 @@ class GCNConv(nn.Module):
 class SAGEConv(nn.Module):
     """GraphSAGE with mean aggregator: ``[X || mean_N(X)] @ W + b``.
 
-    ``adjacency`` should be the row-normalized operator from
-    :meth:`repro.graph.Graph.mean_adjacency` (without self loops — the self
-    representation enters through the concatenation).
+    Consumes the row-normalized view/operator (``"mean"`` — without self
+    loops; the self representation enters through the concatenation).
     """
+
+    view_kind = "mean"
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
         super().__init__()
         self.linear = nn.Linear(2 * in_features, out_features, rng)
+
+    def propagate(self, x: Tensor, view: EdgeView) -> Tensor:
+        return self.linear(ops.concat([x, view.aggregate(x)], axis=1))
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         neighbor = ops.spmm(adjacency, x)
@@ -53,10 +72,12 @@ class SAGEConv(nn.Module):
 class GINConv(nn.Module):
     """Graph Isomorphism Network layer: ``MLP((1 + eps) * X + sum_N(X))``.
 
-    ``adjacency`` should be the *unnormalized* adjacency (sum aggregation) —
-    GIN's injectivity argument requires sums, not means.  ``eps`` is
-    learnable as in the original paper.
+    Consumes the *unnormalized* view/operator (``"sum"``) — GIN's
+    injectivity argument requires sums, not means.  ``eps`` is learnable
+    as in the original paper.
     """
+
+    view_kind = "sum"
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
                  hidden_dim: Optional[int] = None) -> None:
@@ -65,19 +86,28 @@ class GINConv(nn.Module):
         self.mlp = nn.MLP(in_features, (hidden,), out_features, rng)
         self.eps = nn.Parameter(np.zeros(1))
 
-    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
-        neighbor_sum = ops.spmm(adjacency, x)
+    def _combine(self, x: Tensor, neighbor_sum: Tensor) -> Tensor:
         scaled_self = ops.mul(x, ops.add(Tensor(1.0), self.eps))
         return self.mlp(ops.add(scaled_self, neighbor_sum))
+
+    def propagate(self, x: Tensor, view: EdgeView) -> Tensor:
+        return self._combine(x, view.aggregate(x))
+
+    def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        return self._combine(x, ops.spmm(adjacency, x))
 
 
 class GatedGraphConv(nn.Module):
     """Gated graph sequence layer (GGNN [82], used by Fi-GNN / Causal-GNN).
 
-    Runs ``num_steps`` rounds of message passing where the node state is
-    updated by a GRU cell: ``h <- GRU(A_mean @ (h W), h)``.  Input width
+    ``propagate`` is **one** message step — the node state updated by a GRU
+    cell, ``h <- GRU(agg(h W), h)`` over the mean-with-self-loops view —
+    so network plans can interleave per-step state caching; ``forward``
+    runs all ``num_steps`` rounds on a precomputed operator.  Input width
     must equal the state width.
     """
+
+    view_kind = "mean_loops"
 
     def __init__(self, state_dim: int, rng: np.random.Generator, num_steps: int = 2) -> None:
         super().__init__()
@@ -86,6 +116,9 @@ class GatedGraphConv(nn.Module):
         self.num_steps = num_steps
         self.message = nn.Linear(state_dim, state_dim, rng)
         self.gru = nn.GRUCell(state_dim, state_dim, rng)
+
+    def propagate(self, x: Tensor, view: EdgeView) -> Tensor:
+        return self.gru(view.aggregate(self.message(x)), x)
 
     def forward(self, x: Tensor, adjacency: sp.spmatrix) -> Tensor:
         h = x

@@ -1,19 +1,26 @@
 """Ready-made node-classification GNN stacks (the Table 5 "model zoo").
 
-Each network takes a :class:`repro.graph.Graph`, precomputes the operator
-its convolution family needs, and produces node logits/embeddings.  The
-uniform interface lets benchmarks sweep architectures (Table 5) with one
-loop: ``build_network(name, graph, ...)``.
+Each network takes a :class:`repro.graph.Graph` and produces node
+logits/embeddings.  The uniform interface lets benchmarks sweep
+architectures (Table 5) with one loop: ``build_network(name, graph, ...)``.
 
 ``forward(x=None)`` accepts an optional replacement feature tensor so the
 training plans in :mod:`repro.training.tasks` can push *corrupted or
 augmented views* of the features through the same network (denoising
 autoencoder and contrastive auxiliary tasks).
+
+Every stack is one :class:`_NodeNetwork` over the edge-wise
+message-passing substrate: a network is a *plan* — a flat sequence of
+row-local steps (projections, activations, dropout) and propagate steps
+(a conv layer plus the :class:`~repro.graph.EdgeView` flavor it consumes).
+``forward``/``embed``/``pool_hidden_states``/``propagate_queries`` are
+implemented here once, generically, so the serving engine's incremental
+fast path is network-agnostic — attention and gated stacks included.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,13 +31,63 @@ from repro.graph.homogeneous import Graph
 from repro.tensor import Tensor, ops
 
 
-class _NodeNetwork(nn.Module):
-    """Shared plumbing: feature tensor, dropout, view overrides."""
+class _Local(object):
+    """Plan step applying row-wise (no graph): activation, dropout, linear.
 
-    #: Whether the stack supports :meth:`propagate_queries` — scoring query
-    #: rows attached to the construction graph by directed pool→query edges
-    #: without re-running the pool.  Overridden by the operator-based stacks.
-    supports_incremental = False
+    ``train_only`` marks steps (dropout) that exist only for regularized
+    training forwards — ``embed``, ``pool_hidden_states`` and
+    ``propagate_queries`` skip them.
+    """
+
+    __slots__ = ("fn", "train_only")
+
+    def __init__(self, fn: Callable[[Tensor], Tensor], train_only: bool = False) -> None:
+        self.fn = fn
+        self.train_only = train_only
+
+
+class _Propagate(object):
+    """Plan step running one conv layer over an edge view of its flavor."""
+
+    __slots__ = ("module",)
+
+    def __init__(self, module: nn.Module) -> None:
+        self.module = module
+
+    @property
+    def view_kind(self) -> str:
+        return self.module.view_kind
+
+
+_Step = Union[_Local, _Propagate]
+
+
+class _NodeNetwork(nn.Module):
+    """Single substrate for every Table 5 stack.
+
+    Subclasses build their layer modules, then register a plan with
+    :meth:`_set_plan`; everything else — full-graph forward, embeddings,
+    and the serving engine's incremental query path — is generic.
+
+    Incremental query propagation
+    -----------------------------
+    The serving engine attaches B query rows to the *frozen* construction
+    graph ("the pool") with directed pool→query edges only.  Under that
+    topology no message ever flows query→pool, so the pool-side node state
+    entering every propagate step is exactly what a pool-only forward
+    produces — request-invariant and cacheable
+    (:meth:`pool_hidden_states`).  Per request,
+    :meth:`propagate_queries` replays the plan on the query rows alone:
+    row-local steps touch only the (B, d) query block, and each propagate
+    step runs the layer's own ``propagate`` on a tiny bipartite attach
+    view (:meth:`~repro.graph.Graph.attach_view`) over a local node table
+    of the k gathered neighbor states plus the query states — O(B·k·d),
+    independent of pool size, for every conv family.  GAT's per-query
+    softmax over its k+1 attach edges and the gated GRU updates over the
+    cached per-step pool states fall out of the same loop.
+    """
+
+    activation = staticmethod(ops.relu)
 
     def __init__(self, graph: Graph, rng: np.random.Generator, dropout: float) -> None:
         super().__init__()
@@ -40,66 +97,71 @@ class _NodeNetwork(nn.Module):
         self.x = Tensor(graph.x)
         self.dropout = nn.Dropout(dropout, rng) if dropout > 0 else None
 
+    # -- plan assembly --------------------------------------------------
+    def _set_plan(self, steps: Sequence[_Step], embed_end: int) -> None:
+        """Register the step sequence; ``steps[:embed_end]`` computes ``embed``."""
+        self._steps = list(steps)
+        self._embed_end = int(embed_end)
+
+    def _conv_plan(self) -> None:
+        """Standard conv-stack plan: conv / activation / dropout interleave,
+        embeddings being everything up to the final conv."""
+        steps: list[_Step] = []
+        for i, conv in enumerate(self.convs):
+            steps.append(_Propagate(conv))
+            if i < len(self.convs) - 1:
+                steps.append(_Local(self.activation))
+                if self.dropout is not None:
+                    steps.append(_Local(self.dropout, train_only=True))
+        self._set_plan(steps, len(steps) - 1)
+
+    @property
+    def num_message_steps(self) -> int:
+        return sum(1 for step in self._steps if isinstance(step, _Propagate))
+
+    # -- generic forward/embed ------------------------------------------
     def _input(self, x: Optional[Tensor]) -> Tensor:
         return self.x if x is None else x
 
-    def _maybe_dropout(self, h: Tensor) -> Tensor:
-        return self.dropout(h) if self.dropout is not None else h
+    def _run(self, h: Tensor, steps: Sequence[_Step], training: bool) -> Tensor:
+        for step in steps:
+            if isinstance(step, _Propagate):
+                h = step.module.propagate(h, self.graph.edge_view(step.view_kind))
+            elif training or not step.train_only:
+                h = step.fn(h)
+        return h
+
+    def forward(self, x: Optional[Tensor] = None) -> Tensor:
+        return self._run(self._input(x), self._steps, self.training)
+
+    def embed(self, x: Optional[Tensor] = None) -> Tensor:
+        return self._run(self._input(x), self._steps[: self._embed_end], False)
 
     @property
     def in_features(self) -> int:
         return int(self.x.shape[1])
 
-
-class _ConvStack(_NodeNetwork):
-    """Common forward/embed loop for operator-based conv stacks."""
-
-    activation = staticmethod(ops.relu)
-    supports_incremental = True
-
-    def forward(self, x: Optional[Tensor] = None) -> Tensor:
-        h = self._input(x)
-        for i, conv in enumerate(self.convs):
-            h = conv(h, self._adj)
-            if i < len(self.convs) - 1:
-                h = self._maybe_dropout(self.activation(h))
-        return h
-
-    def embed(self, x: Optional[Tensor] = None) -> Tensor:
-        h = self._input(x)
-        for conv in self.convs[:-1]:
-            h = self.activation(conv(h, self._adj))
-        return h
-
     @property
     def embed_dim(self) -> int:
         return int(self._embed_dim)
 
-    # -- incremental query propagation ---------------------------------
-    #
-    # The serving engine attaches B query rows to the *frozen* construction
-    # graph ("the pool") with directed pool→query edges only.  Under that
-    # topology no message ever flows query→pool, so every pool node's
-    # activation at every layer is exactly what a pool-only forward
-    # produces — request-invariant and cacheable.  A query's in-edges are
-    # its k retrieved neighbors (plus, for GCN, the implicit self loop),
-    # with closed-form normalization, so the query rows of each layer can
-    # be computed from the cached pool activations in O(B·k·d) — no spmm,
-    # no (pool + B)-sized anything.
-
+    # -- incremental query propagation ----------------------------------
     def pool_hidden_states(self) -> list[np.ndarray]:
-        """Per-layer conv *inputs* on the construction graph, eval-mode.
+        """Node states entering each propagate step on the pool, eval-mode.
 
-        ``hiddens[i]`` is the ``(N, d_i)`` input :attr:`convs`\\ ``[i]``
-        sees when :meth:`forward` runs on the frozen pool (dropout
-        inactive).  Compute once at serving init, pass to every
+        ``hiddens[i]`` is the ``(N, d_i)`` state the i-th propagate step of
+        the plan sees when :meth:`forward` runs on the frozen pool
+        (dropout inactive).  Compute once at serving init, pass to every
         :meth:`propagate_queries` call.
         """
-        hiddens = [self.x.data]
+        hiddens = []
         h = self.x
-        for conv in self.convs[:-1]:
-            h = self.activation(conv(h, self._adj))
-            hiddens.append(h.data)
+        for step in self._steps:
+            if isinstance(step, _Propagate):
+                hiddens.append(h.data)
+                h = step.module.propagate(h, self.graph.edge_view(step.view_kind))
+            elif not step.train_only:
+                h = step.fn(h)
         return hiddens
 
     def propagate_queries(
@@ -131,29 +193,38 @@ class _ConvStack(_NodeNetwork):
             raise ValueError("neighbor_idx must be a non-empty (B, k) array")
         if neighbor_idx.min() < 0 or neighbor_idx.max() >= n_pool:
             raise ValueError(f"neighbor indices must be in [0, {n_pool})")
-        if len(pool_hiddens) != len(self.convs):
+        if len(pool_hiddens) != self.num_message_steps:
             raise ValueError(
-                f"pool_hiddens has {len(pool_hiddens)} layers, "
-                f"stack has {len(self.convs)}"
+                f"pool_hiddens has {len(pool_hiddens)} entries, "
+                f"plan has {self.num_message_steps} propagation steps"
             )
-        h = features
-        for i, conv in enumerate(self.convs):
-            h = self._query_layer(conv, h, neighbor_idx, pool_hiddens[i])
-            if i < len(self.convs) - 1:
-                h = self.activation(Tensor(h)).data
-        return h
+        batch = features.shape[0]
+        flat_neighbors = neighbor_idx.reshape(-1)
+        views: dict[str, object] = {}
+        h = Tensor(features)
+        step_idx = 0
+        for step in self._steps:
+            if isinstance(step, _Propagate):
+                kind = step.view_kind
+                if kind not in views:
+                    views[kind] = self.graph.attach_view(kind, neighbor_idx)
+                # Local node table per the attach-view convention: the
+                # gathered neighbor states (B·k rows, one per attach edge)
+                # followed by the B query states; only the query rows of
+                # the propagate output are live.
+                table = Tensor(
+                    np.concatenate(
+                        [pool_hiddens[step_idx][flat_neighbors], h.data], axis=0
+                    )
+                )
+                h = Tensor(step.module.propagate(table, views[kind]).data[-batch:])
+                step_idx += 1
+            elif not step.train_only:
+                h = step.fn(h)
+        return h.data
 
-    def _query_layer(
-        self,
-        conv: nn.Module,
-        h: np.ndarray,
-        neighbor_idx: np.ndarray,
-        pool_h: np.ndarray,
-    ) -> np.ndarray:
-        raise NotImplementedError
 
-
-class GCN(_ConvStack):
+class GCN(_NodeNetwork):
     """Multi-layer GCN [77] on the symmetric-normalized adjacency."""
 
     def __init__(
@@ -165,39 +236,15 @@ class GCN(_ConvStack):
         dropout: float = 0.0,
     ) -> None:
         super().__init__(graph, rng, dropout)
-        self._adj = graph.gcn_adjacency()
         widths = [graph.num_features, *hidden_dims, out_dim]
         self.convs = nn.ModuleList(
             [GCNConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
         )
         self._embed_dim = widths[-2]
-        self._inv_sqrt_deg: Optional[np.ndarray] = None
-
-    def _query_layer(self, conv, h, neighbor_idx, pool_h):
-        # Query row of D^-1/2 (A+I) D^-1/2 @ (X W + b): the query's degree
-        # is exactly k+1 (k attach edges + self loop) and pool degrees are
-        # untouched by the directed attach edges, so the row is
-        #   (1/(k+1)) z_q  +  (k+1)^-1/2 · Σ_p d_p^-1/2 z_p.
-        # Aggregating features before the affine map turns that into one
-        # (B, d_in) @ W matmul plus a per-row bias coefficient.
-        if self._inv_sqrt_deg is None:
-            degrees = (
-                np.asarray(self.graph.adjacency().sum(axis=1)).reshape(-1) + 1.0
-            )
-            self._inv_sqrt_deg = 1.0 / np.sqrt(degrees)
-        k = neighbor_idx.shape[1]
-        inv_dq = 1.0 / (k + 1.0)
-        neighbor_w = self._inv_sqrt_deg[neighbor_idx]  # (B, k)
-        agg = (pool_h[neighbor_idx] * neighbor_w[..., None]).sum(axis=1)
-        x_mix = inv_dq * h + np.sqrt(inv_dq) * agg
-        out = x_mix @ conv.linear.weight.data
-        if conv.linear.bias is not None:
-            bias_coeff = inv_dq + np.sqrt(inv_dq) * neighbor_w.sum(axis=1)
-            out = out + bias_coeff[:, None] * conv.linear.bias.data
-        return out
+        self._conv_plan()
 
 
-class GraphSAGE(_ConvStack):
+class GraphSAGE(_NodeNetwork):
     """Multi-layer GraphSAGE [52] with mean aggregation."""
 
     def __init__(
@@ -209,21 +256,15 @@ class GraphSAGE(_ConvStack):
         dropout: float = 0.0,
     ) -> None:
         super().__init__(graph, rng, dropout)
-        self._adj = graph.mean_adjacency()
         widths = [graph.num_features, *hidden_dims, out_dim]
         self.convs = nn.ModuleList(
             [SAGEConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
         )
         self._embed_dim = widths[-2]
-
-    def _query_layer(self, conv, h, neighbor_idx, pool_h):
-        # Query row of D^-1 A is a plain mean over the k retrieved
-        # neighbors (no self loop — self enters via the concatenation).
-        neighbor_mean = pool_h[neighbor_idx].mean(axis=1)
-        return conv.linear(Tensor(np.concatenate([h, neighbor_mean], axis=1))).data
+        self._conv_plan()
 
 
-class GIN(_ConvStack):
+class GIN(_NodeNetwork):
     """Multi-layer GIN [151] with sum aggregation."""
 
     def __init__(
@@ -235,19 +276,12 @@ class GIN(_ConvStack):
         dropout: float = 0.0,
     ) -> None:
         super().__init__(graph, rng, dropout)
-        self._adj = graph.adjacency()
         widths = [graph.num_features, *hidden_dims, out_dim]
         self.convs = nn.ModuleList(
             [GINConv(widths[i], widths[i + 1], rng) for i in range(len(widths) - 1)]
         )
         self._embed_dim = widths[-2]
-
-    def _query_layer(self, conv, h, neighbor_idx, pool_h):
-        # GIN sums (unnormalized adjacency); the query's incoming messages
-        # are exactly its k retrieved neighbors.
-        neighbor_sum = pool_h[neighbor_idx].sum(axis=1)
-        pre = (1.0 + conv.eps.data) * h + neighbor_sum
-        return conv.mlp(Tensor(pre)).data
+        self._conv_plan()
 
 
 class GAT(_NodeNetwork):
@@ -265,7 +299,6 @@ class GAT(_NodeNetwork):
         dropout: float = 0.0,
     ) -> None:
         super().__init__(graph, rng, dropout)
-        self._edge_index = graph.edge_index
         convs = []
         prev = graph.num_features
         for width in hidden_dims:
@@ -275,28 +308,16 @@ class GAT(_NodeNetwork):
         convs.append(GATConv(prev, out_dim, rng, num_heads=num_heads, concat_heads=False))
         self.convs = nn.ModuleList(convs)
         self._embed_dim = prev
-
-    def forward(self, x: Optional[Tensor] = None) -> Tensor:
-        h = self._input(x)
-        for i, conv in enumerate(self.convs):
-            h = conv(h, self._edge_index)
-            if i < len(self.convs) - 1:
-                h = self._maybe_dropout(ops.elu(h))
-        return h
-
-    def embed(self, x: Optional[Tensor] = None) -> Tensor:
-        h = self._input(x)
-        for conv in self.convs[:-1]:
-            h = ops.elu(conv(h, self._edge_index))
-        return h
-
-    @property
-    def embed_dim(self) -> int:
-        return int(self._embed_dim)
+        self._conv_plan()
 
 
 class GatedGNN(_NodeNetwork):
-    """Projection + GatedGraphConv (GGNN [82]) + linear head."""
+    """Projection + GatedGraphConv (GGNN [82]) + linear head.
+
+    The plan expands the gated conv into ``num_steps`` propagate steps over
+    the same module, so the serving engine caches the pool's GRU state at
+    every step boundary.
+    """
 
     def __init__(
         self,
@@ -308,22 +329,17 @@ class GatedGNN(_NodeNetwork):
         dropout: float = 0.0,
     ) -> None:
         super().__init__(graph, rng, dropout)
-        self._adj = graph.mean_adjacency(add_self_loops=True)
         self.proj = nn.Linear(graph.num_features, hidden_dim, rng)
         self.gated = GatedGraphConv(hidden_dim, rng, num_steps=num_steps)
         self.head = nn.Linear(hidden_dim, out_dim, rng)
         self._embed_dim = hidden_dim
-
-    def forward(self, x: Optional[Tensor] = None) -> Tensor:
-        return self.head(self._maybe_dropout(self.embed(x)))
-
-    def embed(self, x: Optional[Tensor] = None) -> Tensor:
-        h = ops.relu(self.proj(self._input(x)))
-        return self.gated(h, self._adj)
-
-    @property
-    def embed_dim(self) -> int:
-        return int(self._embed_dim)
+        steps: list[_Step] = [_Local(self.proj), _Local(ops.relu)]
+        steps.extend(_Propagate(self.gated) for _ in range(num_steps))
+        embed_end = len(steps)
+        if self.dropout is not None:
+            steps.append(_Local(self.dropout, train_only=True))
+        steps.append(_Local(self.head))
+        self._set_plan(steps, embed_end)
 
 
 NETWORKS = {

@@ -14,7 +14,7 @@ Implements every graph formulation the survey catalogues:
   join any number of tabular elements (HCL/PET/HyTrel style, Sec. 4.1.3).
 """
 
-from repro.graph.homogeneous import Graph
+from repro.graph.homogeneous import EdgeView, Graph
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.heterogeneous import HeteroGraph
 from repro.graph.multiplex import MultiplexGraph
@@ -29,6 +29,7 @@ from repro.graph.utils import (
 )
 
 __all__ = [
+    "EdgeView",
     "Graph",
     "BipartiteGraph",
     "HeteroGraph",

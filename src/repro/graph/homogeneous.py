@@ -1,8 +1,9 @@
 """Homogeneous attributed graphs ``G = (V, E, X)`` (survey Sec. 2.2).
 
 Used for both *instance graphs* (nodes are table rows) and *feature graphs*
-(nodes are columns).  Provides the normalized adjacency operators that the
-GNN layers in :mod:`repro.gnn` consume.
+(nodes are columns).  Provides the normalized adjacency operators and the
+edge-wise :class:`EdgeView` substrate that the GNN layers in
+:mod:`repro.gnn` consume.
 """
 
 from __future__ import annotations
@@ -14,6 +15,94 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph import utils
+from repro.tensor import Tensor, ops
+
+#: Edge-view flavors understood by :meth:`Graph.edge_view` /
+#: :meth:`Graph.attach_view`.  Each conv layer declares the flavor it
+#: consumes via its ``view_kind`` class attribute.
+VIEW_KINDS = ("sum", "mean", "mean_loops", "gcn", "attention")
+
+
+class EdgeView:
+    """Edge-wise message-passing view: directed edges ``src → dst`` over a
+    single node table, with optional per-edge coefficients.
+
+    This is the uniform substrate every conv layer's ``propagate`` runs on.
+    :meth:`aggregate` is the weighted-sum primitive — gather messages at
+    ``src``, scale by :attr:`weight`, segment-sum into ``dst`` buckets —
+    with a memoized sparse-operator fast path when the view was derived
+    from a whole :class:`Graph`.  Attention layers read :attr:`src` /
+    :attr:`dst` directly and normalize with ``segment_softmax`` over
+    :attr:`num_nodes` destination buckets.
+
+    Views come from two places, both cheap to reuse:
+
+    * :meth:`Graph.edge_view` — derived once per normalization flavor from
+      a frozen graph and memoized alongside the adjacency-operator cache
+      (self loops, where the flavor needs them, are baked in here — no
+      per-forward ``tile``/``concat``);
+    * :meth:`Graph.attach_view` — a tiny bipartite view linking B query
+      rows to their k retrieved pool neighbors, built per serving request
+      in O(B·k).
+    """
+
+    __slots__ = ("src", "dst", "num_nodes", "weight", "_matrix")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        weight: Optional[np.ndarray] = None,
+        matrix: Optional[sp.spmatrix] = None,
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src and dst must be equal-length 1-D arrays")
+        self.num_nodes = int(num_nodes)
+        self.weight = None if weight is None else np.asarray(weight, dtype=np.float64)
+        if self.weight is not None and self.weight.shape != self.src.shape:
+            raise ValueError("weight length must equal number of edges")
+        self._matrix = matrix
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    @classmethod
+    def from_edge_index(
+        cls, edge_index: np.ndarray, num_nodes: int, add_self_loops: bool = False
+    ) -> "EdgeView":
+        """Unweighted view from a raw ``(2, E)`` edge index (GAT compat path)."""
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        src, dst = edge_index[0], edge_index[1]
+        if add_self_loops:
+            loops = np.arange(num_nodes, dtype=np.int64)
+            src = np.concatenate([src, loops])
+            dst = np.concatenate([dst, loops])
+        return cls(src, dst, num_nodes)
+
+    def aggregate(self, h: Tensor) -> Tensor:
+        """Weighted-sum aggregation: ``out[d] = Σ_{e: dst_e = d} w_e · h[src_e]``.
+
+        Differentiable either way: views derived from a frozen graph carry
+        a memoized sparse operator (one ``spmm``); per-request attach views
+        run the gather → scale → segment-sum primitives directly, keeping
+        the cost proportional to the number of edges in the view.
+        """
+        if self._matrix is not None:
+            return ops.spmm(self._matrix, h)
+        messages = ops.gather_rows(h, self.src)
+        if self.weight is not None:
+            messages = ops.mul(messages, Tensor(self.weight[:, None]))
+        return ops.segment_sum(messages, self.dst, self.num_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EdgeView(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"weighted={self.weight is not None})"
+        )
 
 
 class Graph:
@@ -74,9 +163,10 @@ class Graph:
         for name, mask in (masks or {}).items():
             self.set_mask(name, mask)
         # Structure is immutable after construction (transforms return new
-        # Graphs), so the normalized operators can be built once and shared.
-        # Callers must treat the returned matrices as read-only.
-        self._operator_cache: Dict[Tuple[str, bool], sp.csr_matrix] = {}
+        # Graphs), so the normalized operators and edge views can be built
+        # once and shared.  Callers must treat the cached values as
+        # read-only.
+        self._operator_cache: Dict[Tuple[str, object], object] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +272,117 @@ class Graph:
                 sp.diags(utils.safe_reciprocal(degrees)) @ adj
             ).tocsr()
         return self._operator_cache[key]
+
+    # ------------------------------------------------------------------
+    # edge views (the message-passing substrate)
+    # ------------------------------------------------------------------
+    def edge_view(self, kind: str) -> EdgeView:
+        """Memoized :class:`EdgeView` of this graph under ``kind`` normalization.
+
+        ``kind`` selects how per-edge coefficients (and self loops) are
+        derived — one flavor per conv family:
+
+        * ``"sum"`` — raw (weighted) adjacency, no loops (GIN);
+        * ``"mean"`` — ``D^-1 A``, no loops (GraphSAGE);
+        * ``"mean_loops"`` — ``D^-1 (A + I)`` (gated message steps);
+        * ``"gcn"`` — ``D^-1/2 (A + I) D^-1/2`` (GCN);
+        * ``"attention"`` — raw edges plus one self loop per node, no
+          weights: normalization is learned per edge (GAT).
+
+        The weighted flavors reuse the memoized adjacency operators, so
+        :meth:`EdgeView.aggregate` on a full-graph view is exactly the
+        operator ``spmm`` of earlier revisions — same numbers, same speed.
+        """
+        key = ("view", kind)
+        if key not in self._operator_cache:
+            if kind == "attention":
+                loops = np.arange(self.num_nodes, dtype=np.int64)
+                view = EdgeView(
+                    np.concatenate([self.edge_index[0], loops]),
+                    np.concatenate([self.edge_index[1], loops]),
+                    self.num_nodes,
+                )
+            else:
+                operators = {
+                    "sum": self.adjacency,
+                    "mean": self.mean_adjacency,
+                    "mean_loops": lambda: self.mean_adjacency(add_self_loops=True),
+                    "gcn": self.gcn_adjacency,
+                }
+                if kind not in operators:
+                    raise ValueError(
+                        f"unknown edge-view kind {kind!r}; choose from {VIEW_KINDS}"
+                    )
+                matrix = operators[kind]()
+                coo = matrix.tocoo()
+                view = EdgeView(
+                    coo.col, coo.row, self.num_nodes, weight=coo.data, matrix=matrix
+                )
+            self._operator_cache[key] = view
+        return self._operator_cache[key]
+
+    def _gcn_inv_sqrt_degrees(self) -> np.ndarray:
+        """Memoized ``1/sqrt(in_degree + 1)`` — the GCN normalization terms."""
+        key = ("gcn_inv_sqrt_deg", False)
+        if key not in self._operator_cache:
+            degrees = np.asarray(self.adjacency().sum(axis=1)).reshape(-1) + 1.0
+            self._operator_cache[key] = 1.0 / np.sqrt(degrees)
+        return self._operator_cache[key]
+
+    def attach_view(self, kind: str, neighbor_idx: np.ndarray) -> EdgeView:
+        """Bipartite attach view linking B query rows to this (pool) graph.
+
+        ``neighbor_idx`` is the ``(B, k)`` global pool indices of each
+        query's retrieved neighbors.  The view is expressed over a *local*
+        node table of ``B·k + B`` rows whose convention the caller must
+        follow when assembling node states: row ``q·k + j`` holds pool node
+        ``neighbor_idx[q, j]``'s state and the last ``B`` rows hold the
+        query states.  Edges are directed pool→query (one per retrieved
+        neighbor) plus, for the flavors that use self loops, one
+        query→query loop; pool-local rows have no in-edges, so their
+        outputs are vacuous and ignored.
+
+        Per-edge weights replicate exactly what :meth:`edge_view` would
+        produce on the induced (pool + queries) graph: directed attach
+        edges leave every pool degree untouched, so a query's in-degree is
+        ``k`` (``k + 1`` with its loop) and the pool-side GCN terms come
+        from the memoized pool degrees.  Building the view is O(B·k) —
+        independent of pool size.
+        """
+        neighbor_idx = np.asarray(neighbor_idx, dtype=np.int64)
+        if neighbor_idx.ndim != 2 or neighbor_idx.size == 0:
+            raise ValueError("neighbor_idx must be a non-empty (B, k) array")
+        n_queries, k = neighbor_idx.shape
+        base = n_queries * k
+        src = np.arange(base, dtype=np.int64)
+        dst = base + np.repeat(np.arange(n_queries, dtype=np.int64), k)
+        loops = base + np.arange(n_queries, dtype=np.int64)
+        num_local = base + n_queries
+        if kind == "gcn":
+            inv_sqrt_q = 1.0 / np.sqrt(k + 1.0)
+            attach_w = self._gcn_inv_sqrt_degrees()[neighbor_idx.reshape(-1)] * inv_sqrt_q
+            return EdgeView(
+                np.concatenate([src, loops]),
+                np.concatenate([dst, loops]),
+                num_local,
+                weight=np.concatenate([attach_w, np.full(n_queries, inv_sqrt_q**2)]),
+            )
+        if kind == "mean":
+            return EdgeView(src, dst, num_local, weight=np.full(base, 1.0 / k))
+        if kind == "mean_loops":
+            return EdgeView(
+                np.concatenate([src, loops]),
+                np.concatenate([dst, loops]),
+                num_local,
+                weight=np.full(base + n_queries, 1.0 / (k + 1.0)),
+            )
+        if kind == "sum":
+            return EdgeView(src, dst, num_local)
+        if kind == "attention":
+            return EdgeView(
+                np.concatenate([src, loops]), np.concatenate([dst, loops]), num_local
+            )
+        raise ValueError(f"unknown edge-view kind {kind!r}; choose from {VIEW_KINDS}")
 
     # ------------------------------------------------------------------
     # conversions

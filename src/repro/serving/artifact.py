@@ -137,9 +137,12 @@ class ModelArtifact:
     ) -> nn.Module:
         """Instantiate the architecture, load the weights, switch to eval.
 
-        Instance-graph networks precompute their propagation operator from
-        the graph at construction, so the caller passes the induced graph;
-        feature-graph models are graph-free and can be built once and
+        Instance-graph networks derive (and memoize) their edge views from
+        the graph they are built on, so the caller passes the pool or
+        induced graph; the returned stack speaks the uniform edge-wise
+        ``propagate`` substrate, which is what lets the serving engine run
+        incremental query propagation for *any* network in the zoo.
+        Feature-graph models are graph-free and can be built once and
         reused.  ``skip_init`` (the default) zero-fills the freshly
         constructed parameters instead of drawing random initial weights —
         they are overwritten by ``load_state_dict`` either way.

@@ -19,21 +19,26 @@ exploits that at construction time (the precompute step):
 
 1. build the model **once** on the pool graph (memoized adjacency
    operators, weights loaded without wasted random init);
-2. run **one** full forward over the pool and cache the per-layer pool
-   hidden states (:meth:`~repro.gnn.networks._ConvStack.pool_hidden_states`);
+2. run **one** full forward over the pool and cache the node states
+   entering every propagate step
+   (:meth:`~repro.gnn.networks._NodeNetwork.pool_hidden_states` — for
+   gated networks that is one entry per GRU step);
 3. build a :class:`~repro.construction.retrieval.PoolIndex` so retrieval
    stops re-deriving pool norms per request.
 
-Per request (the propagate step), only the B query rows are computed: each
-query aggregates its k retrieved neighbors from the cached activations
-with closed-form degree normalization — the directed attach edges leave
-every pool degree untouched, and a query's in-degree is exactly k (plus
-the GCN self loop).  Per-request cost is **O(B·k·d) — independent of pool
-size** — versus the full-graph path's O(pool + E + B·k) graph rebuild,
-re-normalization and pool re-forward.  Supported for the operator-based
-stacks (GCN/GraphSAGE/GIN); attention/gated networks (GAT, GatedGNN) fall
-back to the full-graph path, which is also kept as a correctness oracle
-(``incremental=False``) — the two paths agree to floating-point round-off.
+Per request (the propagate step), only the B query rows are computed: the
+model replays its plan on a tiny bipartite attach view — each query's k
+retrieved neighbors plus a self loop, with the normalization each conv
+family would derive on the induced graph (the directed attach edges leave
+every pool degree untouched, so a query's in-degree is exactly k, plus
+the self loop where the flavor uses one).  Per-request cost is
+**O(B·k·d) — independent of pool size** — versus the full-graph path's
+O(pool + E + B·k) graph rebuild, re-normalization and pool re-forward.
+Because every conv layer speaks the same edge-wise ``propagate``
+substrate, this holds for **all five** networks — GCN, GraphSAGE, GIN,
+GAT and GatedGNN alike.  The full-graph path is kept purely as a
+correctness oracle (``incremental=False``) — the two paths agree to
+floating-point round-off.
 
 Repeated rows are memoized in a bounded LRU cache keyed on the raw row
 bytes, so hot rows (the head of a production traffic distribution) skip
@@ -55,12 +60,7 @@ import numpy as np
 from repro.construction.retrieval import PoolIndex
 from repro.graph.homogeneous import Graph
 from repro.serving.artifact import ModelArtifact
-
-
-def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+from repro.tensor.ops import softmax_rows
 
 
 class InferenceEngine:
@@ -74,10 +74,11 @@ class InferenceEngine:
         Maximum number of distinct rows memoized in the LRU prediction
         cache; ``0`` disables caching.
     incremental:
-        ``None`` (default) uses incremental query propagation whenever the
-        artifact's network supports it and falls back to the full-graph
-        path otherwise; ``True`` requires it (raises ``ValueError`` for
-        unsupported networks); ``False`` forces the full-graph oracle path.
+        ``None``/``True`` (default) uses incremental query propagation —
+        available for every instance-graph network; ``False`` forces the
+        full-graph oracle path.  ``True`` still raises ``ValueError`` for
+        feature-formulation artifacts, which have no pool graph to
+        propagate from.
 
     Notes
     -----
@@ -118,24 +119,18 @@ class InferenceEngine:
         else:
             self._pool_x = np.asarray(artifact.pool_x, dtype=np.float64)
             self._pool_edges = artifact.pool_edge_index.astype(np.int64)
-            self._pool_graph = artifact.pool_graph()
-            # One model for the engine's lifetime, built on the pool graph.
-            # The incremental path scores queries through it directly; the
-            # full-graph path only borrows its weights.
-            self._model = artifact.build_model(self._pool_graph)
             self._pool_index = PoolIndex(
                 self._pool_x,
                 measure=str(artifact.config.get("metric", "euclidean")),
             )
-            supported = bool(getattr(self._model, "supports_incremental", False))
-            if incremental and not supported:
-                raise ValueError(
-                    f"network {artifact.network!r} does not support incremental "
-                    "query propagation; use incremental=None/False"
-                )
-            self.incremental = supported if incremental is None else bool(incremental)
+            self.incremental = True if incremental is None else bool(incremental)
             if self.incremental:
-                # The precompute step: one pool-only forward, cached forever.
+                # One model for the engine's lifetime, built on the pool
+                # graph, then the precompute step: one pool-only forward,
+                # cached forever.  The oracle path (incremental=False)
+                # instead rebuilds a model on the induced graph per
+                # request, so it has no use for either.
+                self._model = artifact.build_model(artifact.pool_graph())
                 self._pool_hiddens = self._model.pool_hidden_states()
 
     # ------------------------------------------------------------------
@@ -158,9 +153,8 @@ class InferenceEngine:
     ) -> np.ndarray:
         """Correctness-oracle path: rebuild the (pool + queries) graph.
 
-        Pays O(pool + E) per request — kept for networks without
-        incremental support and as the reference the incremental path is
-        tested against.
+        Pays O(pool + E) per request — kept solely as the reference the
+        incremental path is tested against (``incremental=False``).
         """
         batch = features.shape[0]
         n_pool = self._pool_x.shape[0]
@@ -200,7 +194,7 @@ class InferenceEngine:
                 logits = self._forward_full(features, neighbors)
         self.stats["forward_passes"] += 1
         self.stats["forward_rows"] += features.shape[0]
-        probs = _softmax(logits)
+        probs = softmax_rows(logits, axis=1)
         # Rows of this array end up in the LRU cache and are returned by
         # reference; freeze them so caller mutation raises instead of
         # corrupting cached entries.

@@ -134,8 +134,23 @@ class PredictionServer:
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
+        """Liveness plus which inference path this deployment runs.
+
+        ``network``/``incremental``/``pool_rows`` are surfaced at the top
+        level so operators can verify a deployment serves the pool-size-
+        independent incremental path (always true for instance-graph
+        artifacts unless explicitly disabled) without digging through the
+        artifact summary.
+        """
         return {
             "status": "ok",
+            "network": self.artifact.network,
+            "incremental": bool(self.engine.incremental),
+            "pool_rows": (
+                int(self.artifact.pool_x.shape[0])
+                if self.artifact.pool_x is not None
+                else None
+            ),
             "artifact": self.artifact.summary(),
             "engine": dict(self.engine.stats),
             "batcher": dict(self.batcher.stats),

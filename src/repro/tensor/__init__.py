@@ -33,6 +33,7 @@ from repro.tensor.ops import (
     segment_sum,
     sigmoid,
     softmax,
+    softmax_rows,
     spmm,
     stack,
     sum as tsum,
@@ -64,6 +65,7 @@ __all__ = [
     "segment_sum",
     "sigmoid",
     "softmax",
+    "softmax_rows",
     "spmm",
     "stack",
     "tsum",

@@ -280,10 +280,21 @@ def tanh(a: Tensor) -> Tensor:
     return out
 
 
-def softmax(a: Tensor, axis: int = -1) -> Tensor:
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+def softmax_rows(data: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax on a plain numpy array.
+
+    The single softmax implementation in the library: :func:`softmax` wraps
+    it with gradient bookkeeping and the serving engine calls it directly
+    on logits that never need gradients.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    shifted = data - data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    out_data = softmax_rows(a.data, axis=axis)
     out = Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:

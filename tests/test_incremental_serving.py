@@ -1,12 +1,14 @@
 """Tests for incremental query propagation through the serving stack.
 
-The incremental path (cached per-layer pool activations + closed-form
-query aggregation) must be numerically indistinguishable from the
-full-graph oracle (rebuild the (pool + queries) graph, re-forward
-everything) for every supported network, retrieval metric and batch size.
-Also covers the supporting machinery this path leans on: memoized graph
-operators, the precomputed ``PoolIndex``, skip-init artifact loading, and
-LRU cache eviction/read-only guarantees.
+The incremental path (cached per-step pool activations + generic
+propagation over the bipartite attach view) must be numerically
+indistinguishable from the full-graph oracle (rebuild the
+(pool + queries) graph, re-forward everything) for **every** network in
+the zoo — operator, attention and gated stacks alike — across retrieval
+metrics and batch sizes.  Also covers the supporting machinery this path
+leans on: memoized graph operators and edge views, the precomputed
+``PoolIndex``, skip-init artifact loading, and LRU cache
+eviction/read-only guarantees.
 """
 
 import numpy as np
@@ -20,6 +22,7 @@ from repro.serving import InferenceEngine, ModelArtifact
 
 POOL_ROWS = 90
 K = 6
+ALL_NETWORKS = ["gcn", "sage", "gin", "gat", "gated"]
 
 
 def _instance_artifact(network, metric, seed=0, num_layers=2):
@@ -60,7 +63,7 @@ def _instance_artifact(network, metric, seed=0, num_layers=2):
 # incremental vs full-graph parity
 # ----------------------------------------------------------------------
 class TestIncrementalParity:
-    @pytest.mark.parametrize("network", ["gcn", "sage", "gin"])
+    @pytest.mark.parametrize("network", ALL_NETWORKS)
     @pytest.mark.parametrize("metric", ["cosine", "euclidean", "rbf"])
     @pytest.mark.parametrize("batch_size", [1, 7])
     def test_predict_batch_matches_full_graph_oracle(
@@ -78,8 +81,9 @@ class TestIncrementalParity:
         expected = oracle.predict_batch(rows)
         np.testing.assert_allclose(got, expected, atol=1e-8)
 
-    def test_three_layer_stack_parity(self):
-        dataset, artifact = _instance_artifact("gcn", "euclidean", num_layers=3)
+    @pytest.mark.parametrize("network", ["gcn", "gat"])
+    def test_three_layer_stack_parity(self, network):
+        dataset, artifact = _instance_artifact(network, "euclidean", num_layers=3)
         incremental = InferenceEngine(artifact, cache_size=0, incremental=True)
         oracle = InferenceEngine(artifact, cache_size=0, incremental=False)
         rows = dataset.numerical[:4] + 0.05
@@ -87,20 +91,19 @@ class TestIncrementalParity:
             incremental.predict_batch(rows), oracle.predict_batch(rows), atol=1e-8
         )
 
-    def test_auto_mode_picks_incremental_for_supported_networks(self):
-        _, artifact = _instance_artifact("gcn", "euclidean")
+    @pytest.mark.parametrize("network", ALL_NETWORKS)
+    def test_auto_mode_picks_incremental_for_every_network(self, network):
+        _, artifact = _instance_artifact(network, "euclidean")
         assert InferenceEngine(artifact, cache_size=0).incremental is True
 
     @pytest.mark.parametrize("network", ["gat", "gated"])
-    def test_unsupported_network_falls_back_and_strict_mode_raises(self, network):
+    def test_oracle_path_retained_for_explicit_opt_out(self, network):
         dataset, artifact = _instance_artifact(network, "euclidean")
-        engine = InferenceEngine(artifact, cache_size=0)
+        engine = InferenceEngine(artifact, cache_size=0, incremental=False)
         assert engine.incremental is False
         probs = engine.predict_batch(dataset.numerical[:2])
         assert probs.shape == (2, dataset.num_classes)
         np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-10)
-        with pytest.raises(ValueError, match="incremental"):
-            InferenceEngine(artifact, cache_size=0, incremental=True)
 
     def test_feature_formulation_strict_mode_raises(self):
         from repro.datasets import make_fraud
@@ -139,7 +142,7 @@ class TestIncrementalParity:
             model.propagate_queries(good, np.zeros((3, K), np.int64), hiddens)
         with pytest.raises(ValueError, match="neighbor indices"):
             model.propagate_queries(good, np.full((2, K), POOL_ROWS), hiddens)
-        with pytest.raises(ValueError, match="layers"):
+        with pytest.raises(ValueError, match="propagation steps"):
             model.propagate_queries(good, np.zeros((2, K), np.int64), hiddens[:1])
 
 

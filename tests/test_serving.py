@@ -342,6 +342,10 @@ class TestPredictionServer:
                 health = json.loads(r.read())
             assert health["status"] == "ok"
             assert health["artifact"]["formulation"] == "instance"
+            # Operators can verify which inference path the deployment runs.
+            assert health["network"] == artifact.network
+            assert health["incremental"] is True
+            assert health["pool_rows"] == artifact.pool_x.shape[0]
 
     def test_shutdown_without_start_returns(self, feature_result):
         # Regression: BaseServer.shutdown() blocks on an event only
