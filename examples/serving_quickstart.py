@@ -1,16 +1,24 @@
 """Train → export artifact → reload → serve predictions for unseen rows.
 
-Demonstrates the full deployment path of ``repro.serving`` with a **GAT**
-pipeline — attention networks ride the same pool-size-independent
-incremental inference path as every other stack, because all conv
-families share one edge-wise ``propagate`` substrate:
+Demonstrates the full deployment path of ``repro.serving`` with a
+**multiplex** (TabGNN-style) pipeline — serving is formulation-agnostic:
+the artifact carries whatever frozen state its formulation needs, here
+per-column *value-node vocabularies* that unseen rows attach to by lookup
+(never-seen categorical values fall into the UNK bucket and still score):
 
-1. train an instance-graph GAT pipeline on a synthetic table;
+1. train a multiplex pipeline on a synthetic fraud table (one
+   same-feature-value relation per device/merchant column + binned
+   numericals);
 2. export a :class:`~repro.serving.ModelArtifact` (weights + fitted
-   preprocessing + frozen training pool) to ``.npz`` + JSON sidecar;
+   preprocessing + value vocabularies) to ``.npz`` + versioned JSON
+   sidecar;
 3. reload it (as a fresh process would) and score rows the training graph
-   never contained, via the Python engine *and* the HTTP server — and
-   check ``/healthz`` to confirm which inference path the deployment runs.
+   never contained — including a transaction from a never-seen device —
+   via the Python engine *and* the HTTP server, checking ``/healthz`` for
+   the formulation / schema / inference path.
+
+Instance-graph pipelines (any network in the zoo) ride the same API — swap
+``formulation="instance", network="gat"`` and nothing else changes.
 
 Run with:  PYTHONPATH=src python examples/serving_quickstart.py
 """
@@ -21,40 +29,54 @@ import urllib.request
 
 import numpy as np
 
-from repro.datasets import make_correlated_instances
+from repro.datasets import make_fraud
 from repro.pipeline import run_pipeline
 from repro.serving import InferenceEngine, ModelArtifact, PredictionServer
 
-# 1. Train a graph-attention pipeline.
-dataset = make_correlated_instances(n=400, seed=0, cluster_strength=2.0)
-result = run_pipeline(dataset, formulation="instance", network="gat",
-                      max_epochs=80, seed=0)
+# 1. Train a multiplex (same-feature-value relations) pipeline.  n=150
+# keeps every same-value group under the degree cap (max_group_degree=30),
+# the regime where served training rows reproduce the transductive
+# predictions *exactly*; the artifact discloses the regime via
+# payload_meta["capped_groups"].
+dataset = make_fraud(n=150, seed=0)
+result = run_pipeline(dataset, formulation="multiplex", max_epochs=60, seed=0)
 print("trained:", result.as_row())
 
-# 2. Export.
+# 2. Export.  The artifact's formulation payload freezes, per relation,
+# the value → pool-member vocabulary (and the quantile edges that bin
+# numerical columns), so a fresh process can attach unseen rows.
 with tempfile.TemporaryDirectory() as tmp:
     path = result.export_artifact().save(f"{tmp}/model")
     print("artifact:", path.name, "+", path.with_suffix(".json").name)
 
-    # 3a. Reload and predict in-process on unseen rows.  The engine caches
-    # the pool activations once and scores queries in O(B·k·d) — the GAT
-    # softmax runs over just each query's k retrieved neighbors + itself.
+    # 3a. Reload and predict in-process.  With capped_groups == 0 the
+    # training-table rows reproduce the transductive predictions exactly;
+    # a row with a never-seen device id lands in the UNK bucket and still
+    # returns a valid score.
     artifact = ModelArtifact.load(path)
+    print("capped groups:     ", artifact.payload_meta["capped_groups"])
     engine = InferenceEngine(artifact)
-    rng = np.random.default_rng(7)
-    unseen = dataset.numerical[:8] + rng.normal(0.0, 0.05, (8, dataset.num_numerical))
-    probs = engine.predict_batch(unseen)
+    probs = engine.predict_batch(dataset.numerical[:8], dataset.categorical[:8])
     print("engine predictions:", probs.argmax(axis=1).tolist())
+
+    unseen_device = dataset.categorical[:1].copy()
+    unseen_device[0, 0] = 999_999  # device id the pool never saw
+    unk_probs = engine.predict_batch(dataset.numerical[:1], unseen_device)
+    print("UNK-device probs:  ", np.round(unk_probs[0], 4).tolist())
     print("engine stats:      ", engine.stats)
 
     # 3b. The same artifact behind micro-batched HTTP.
     with PredictionServer(artifact, port=0) as server:
-        body = json.dumps({"numerical": unseen[0].tolist()}).encode()
+        body = json.dumps({
+            "numerical": dataset.numerical[0].tolist(),
+            "categorical": dataset.categorical[0].tolist(),
+        }).encode()
         request = urllib.request.Request(server.url + "/predict", data=body)
         with urllib.request.urlopen(request) as response:
             print("http /predict:     ", json.loads(response.read()))
         with urllib.request.urlopen(server.url + "/healthz") as response:
             health = json.loads(response.read())
         print("http /healthz:     ", {k: health[k] for k in
-                                      ("status", "network", "incremental",
+                                      ("status", "formulation", "network",
+                                       "schema_version", "incremental",
                                        "pool_rows")})

@@ -36,6 +36,7 @@ Subpackages
 ``repro.tensor``        autograd engine (the PyTorch substitute)
 ``repro.nn``            layers, losses, optimizers
 ``repro.graph``         graph data structures (Phase 1)
+``repro.formulations``  the Phase 1 formulation axis as a registry
 ``repro.construction``  graph construction (Phase 2)
 ``repro.gnn``           GNN layers & stacks (Phase 3)
 ``repro.training``      training plans (Phase 4)
@@ -52,6 +53,7 @@ __all__ = [
     "tensor",
     "nn",
     "graph",
+    "formulations",
     "construction",
     "gnn",
     "training",

@@ -9,11 +9,12 @@ layer per categorical column (TabGNN), hypergraphs with rows as hyperedges
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.datasets.preprocessing import KBinsDiscretizer, StandardScaler
+from repro.datasets.preprocessing import KBinsDiscretizer, StandardScaler, bin_codes
 from repro.datasets.tabular import TabularDataset
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.heterogeneous import HeteroGraph
@@ -21,6 +22,80 @@ from repro.graph.homogeneous import Graph
 from repro.graph.hypergraph import Hypergraph
 from repro.graph.multiplex import MultiplexGraph
 from repro.construction.rules import same_value_graph
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueColumnSpec:
+    """One value-node column of a hetero/multiplex construction.
+
+    The same-feature-value rule and the value-typed-node rule both view the
+    table as a list of code columns: every categorical column directly, and
+    (optionally) every numerical column after quantile binning.  The spec
+    freezes what a serving artifact needs to re-derive a query row's codes
+    with training-time boundaries: the source column index, the code
+    cardinality, and — for binned columns — the fitted quantile edges.
+    """
+
+    name: str
+    kind: str  # "categorical" | "binned"
+    source: int  # index into dataset.categorical / dataset.numerical
+    cardinality: int
+    codes: np.ndarray  # (n,) training codes; -1 = missing
+    bin_edges: Optional[np.ndarray] = None
+
+    def encode(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
+        """Codes for raw query rows using the frozen training boundaries."""
+        if self.kind == "categorical":
+            return np.asarray(categorical[:, self.source], dtype=np.int64)
+        return bin_codes(numerical[:, self.source], self.bin_edges)
+
+    def to_meta(self) -> Dict[str, object]:
+        """JSON-safe column description for artifact sidecars."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "source": int(self.source),
+            "cardinality": int(self.cardinality),
+        }
+
+    @classmethod
+    def from_meta(
+        cls, meta: Dict[str, object], bin_edges: Optional[np.ndarray] = None
+    ) -> "ValueColumnSpec":
+        """Rebuild a serve-side spec from :meth:`to_meta` output.
+
+        Training codes are not persisted (serve-time state lives in the
+        formulation's vocabularies/graph), so ``codes`` comes back empty.
+        """
+        return cls(
+            str(meta["name"]),
+            str(meta["kind"]),
+            int(meta["source"]),
+            int(meta["cardinality"]),
+            codes=np.zeros(0, np.int64),
+            bin_edges=None if bin_edges is None else np.asarray(bin_edges),
+        )
+
+
+def value_column_specs(
+    dataset: TabularDataset,
+    n_bins: int = 5,
+    include_numerical_bins: bool = False,
+) -> List[ValueColumnSpec]:
+    """The ordered code columns hetero/multiplex constructions are built from."""
+    specs: List[ValueColumnSpec] = []
+    for j, name in enumerate(dataset.categorical_names):
+        specs.append(ValueColumnSpec(
+            name, "categorical", j, dataset.cardinalities[j], dataset.categorical[:, j]
+        ))
+    if include_numerical_bins and dataset.num_numerical:
+        disc = KBinsDiscretizer(n_bins).fit(dataset.numerical)
+        binned = disc.transform(dataset.numerical)
+        for j, name in enumerate(dataset.numerical_names):
+            specs.append(ValueColumnSpec(
+                f"{name}_bin", "binned", j, n_bins, binned[:, j], disc.edges_[j]
+            ))
+    return specs
 
 
 def bipartite_from_dataset(dataset: TabularDataset) -> BipartiteGraph:
@@ -51,6 +126,7 @@ def hetero_from_dataset(
     dataset: TabularDataset,
     n_bins: int = 5,
     include_numerical_bins: bool = False,
+    specs: Optional[List[ValueColumnSpec]] = None,
 ) -> HeteroGraph:
     """Heterogeneous graph: instance nodes + one node type per categorical column.
 
@@ -60,25 +136,20 @@ def hetero_from_dataset(
     quantile-binned into value nodes too.
     """
     counts: Dict[str, int] = {"instance": dataset.num_instances}
-    columns: list[Tuple[str, np.ndarray, int]] = []
-    for j, name in enumerate(dataset.categorical_names):
-        columns.append((name, dataset.categorical[:, j], dataset.cardinalities[j]))
-    if include_numerical_bins and dataset.num_numerical:
-        binned = KBinsDiscretizer(n_bins).fit_transform(dataset.numerical)
-        for j, name in enumerate(dataset.numerical_names):
-            columns.append((f"{name}_bin", binned[:, j], n_bins))
-    if not columns:
+    if specs is None:
+        specs = value_column_specs(dataset, n_bins, include_numerical_bins)
+    if not specs:
         raise ValueError(
             "hetero formulation needs categorical columns "
             "(or include_numerical_bins=True)"
         )
-    for name, _, cardinality in columns:
-        counts[name] = cardinality
+    for spec in specs:
+        counts[spec.name] = spec.cardinality
     graph = HeteroGraph(counts)
-    for name, codes, _ in columns:
-        observed = np.nonzero(codes >= 0)[0]
-        edge_index = np.stack([observed, codes[observed]]).astype(np.int64)
-        graph.add_edges(("instance", f"has_{name}", name), edge_index)
+    for spec in specs:
+        observed = np.nonzero(spec.codes >= 0)[0]
+        edge_index = np.stack([observed, spec.codes[observed]]).astype(np.int64)
+        graph.add_edges(("instance", f"has_{spec.name}", spec.name), edge_index)
     graph.add_reverse_edges()
     if dataset.num_numerical:
         graph.set_features("instance", StandardScaler().fit_transform(
@@ -96,23 +167,19 @@ def multiplex_from_dataset(
     include_numerical_bins: bool = False,
     max_group_degree: Optional[int] = 30,
     rng: Optional[np.random.Generator] = None,
+    specs: Optional[List[ValueColumnSpec]] = None,
 ) -> MultiplexGraph:
     """Multiplex instance graph: one Same-Feature-Value layer per column (TabGNN)."""
     x = dataset.to_matrix()
     graph = MultiplexGraph(dataset.num_instances, x=x, y=dataset.y)
     rng = rng or np.random.default_rng(0)
-    for j, name in enumerate(dataset.categorical_names):
+    if specs is None:
+        specs = value_column_specs(dataset, n_bins, include_numerical_bins)
+    for spec in specs:
         layer = same_value_graph(
-            dataset.categorical[:, j], max_group_degree=max_group_degree, rng=rng
+            spec.codes, max_group_degree=max_group_degree, rng=rng
         )
-        graph.add_layer(name, layer.edge_index)
-    if include_numerical_bins and dataset.num_numerical:
-        binned = KBinsDiscretizer(n_bins).fit_transform(dataset.numerical)
-        for j, name in enumerate(dataset.numerical_names):
-            layer = same_value_graph(
-                binned[:, j], max_group_degree=max_group_degree, rng=rng
-            )
-            graph.add_layer(f"{name}_bin", layer.edge_index)
+        graph.add_layer(spec.name, layer.edge_index)
     if graph.num_layers == 0:
         raise ValueError(
             "multiplex formulation needs categorical columns "

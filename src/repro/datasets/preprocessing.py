@@ -158,12 +158,25 @@ class KBinsDiscretizer:
         x = np.asarray(x, dtype=np.float64)
         out = np.zeros(x.shape, dtype=np.int64)
         for j, edges in enumerate(self.edges_):
-            out[:, j] = np.searchsorted(edges, x[:, j], side="right")
-            out[np.isnan(x[:, j]), j] = -1
+            out[:, j] = bin_codes(x[:, j], edges)
         return out
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)
+
+
+def bin_codes(column: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Quantile-bin one column against frozen edges; NaN → ``-1`` (missing).
+
+    The single definition of the binning semantics (``searchsorted`` with
+    right-closed intervals): :class:`KBinsDiscretizer` applies it per
+    fitted column, and serving artifacts apply it to query rows with the
+    persisted training-time edges so train and serve always agree.
+    """
+    column = np.asarray(column, dtype=np.float64)
+    codes = np.searchsorted(edges, column, side="right").astype(np.int64)
+    codes[np.isnan(column)] = -1
+    return codes
 
 
 class TabularPreprocessor:

@@ -1,0 +1,54 @@
+"""First-class graph formulations (survey Phase 1) behind one registry.
+
+Each formulation — instance, feature, multiplex, hetero, hypergraph —
+implements the :class:`~repro.formulations.base.Formulation` protocol:
+``fit`` runs phases 1+2 and freezes the result, the fitted object builds
+its model, exports/rehydrates its serve-time payload (retrieval pool,
+value-node vocabularies, …) and produces the scorer the inference engine
+drives.  ``run_pipeline`` and ``repro.serving`` dispatch purely through
+:func:`get`, so adding a formulation is :func:`register` plus the
+protocol — no pipeline or engine edits.
+"""
+
+from repro.formulations.base import (
+    FittedFormulation,
+    Formulation,
+    RowScorer,
+    available,
+    get,
+    register,
+    servable,
+    unregister,
+)
+from repro.formulations.instance import InstanceFormulation
+from repro.formulations.feature import FeatureFormulation
+from repro.formulations.multiplex import MultiplexFormulation
+from repro.formulations.hetero import HeteroFormulation
+from repro.formulations.hypergraph import HypergraphFormulation
+
+# Registration order defines repro.pipeline.FORMULATIONS.
+for _formulation in (
+    InstanceFormulation(),
+    FeatureFormulation(),
+    MultiplexFormulation(),
+    HeteroFormulation(),
+    HypergraphFormulation(),
+):
+    register(_formulation)
+del _formulation
+
+__all__ = [
+    "Formulation",
+    "FittedFormulation",
+    "RowScorer",
+    "register",
+    "unregister",
+    "get",
+    "available",
+    "servable",
+    "InstanceFormulation",
+    "FeatureFormulation",
+    "MultiplexFormulation",
+    "HeteroFormulation",
+    "HypergraphFormulation",
+]

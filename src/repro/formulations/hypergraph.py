@@ -1,0 +1,47 @@
+"""Hypergraph formulation: rows as hyperedges over value nodes (HCL/PET).
+
+The classifier scores a row through its *hyperedge* — the set of value
+nodes the row joins — which is bound to the training incidence structure;
+there is no frozen-pool attach semantics for an unseen hyperedge yet, so
+this formulation trains and evaluates transductively but does not export
+serving artifacts (``servable = False``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.construction.intrinsic import hypergraph_from_dataset
+from repro.formulations.base import FittedFormulation, Formulation
+from repro.models import HypergraphClassifier
+
+
+class FittedHypergraph(FittedFormulation):
+    name = "hypergraph"
+    servable = False
+
+    def __init__(self, hypergraph, config) -> None:
+        super().__init__(config, preprocessor=None)
+        self.graph = hypergraph
+
+    def build_model(self, rng, graph=None) -> nn.Module:
+        return HypergraphClassifier(
+            rng=rng,
+            hidden_dim=int(self.config["hidden_dim"]),
+            hypergraph=self.graph if graph is None else graph,
+            out_dim=int(self.config["out_dim"]),
+        )
+
+
+class HypergraphFormulation(Formulation):
+    name = "hypergraph"
+    fitted_cls = FittedHypergraph
+
+    def fit(self, dataset, train_mask, config) -> FittedHypergraph:
+        hypergraph = hypergraph_from_dataset(
+            dataset, n_bins=int(config.get("n_bins", 5))
+        )
+        return self.fitted_cls(hypergraph, config)

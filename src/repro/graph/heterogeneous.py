@@ -116,6 +116,44 @@ class HeteroGraph:
             if rev_type not in self.edge_indexes:
                 self.edge_indexes[rev_type] = self.edge_indexes[edge_type][::-1].copy()
 
+    # ------------------------------------------------------------------
+    def state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """(arrays, json-safe meta) pair for artifact serialization.
+
+        Edge types are flattened to ``src|rel|dst`` keys; the meta block
+        records node counts, the key order (dict order is semantic for
+        rebuilt models — layer parameters are matched positionally), the
+        target type, and which node types carry explicit features.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for i, (edge_type, edge_index) in enumerate(self.edge_indexes.items()):
+            arrays[f"edges::{i}"] = edge_index
+        for node_type, x in self.node_features.items():
+            arrays[f"features::{node_type}"] = x
+        meta = {
+            "node_types": list(self.node_counts),
+            "node_counts": [int(self.node_counts[t]) for t in self.node_counts],
+            "edge_types": ["|".join(et) for et in self.edge_indexes],
+            "feature_types": list(self.node_features),
+            "target_type": self.target_type,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "HeteroGraph":
+        """Rebuild a graph saved by :meth:`state` (labels are not restored)."""
+        graph = cls(dict(zip(meta["node_types"], meta["node_counts"])))
+        for i, key in enumerate(meta["edge_types"]):
+            src, rel, dst = str(key).split("|")
+            graph.add_edges((src, rel, dst), arrays[f"edges::{i}"])
+        for node_type in meta["feature_types"]:
+            graph.set_features(str(node_type), arrays[f"features::{node_type}"])
+        if meta.get("target_type"):
+            graph.target_type = str(meta["target_type"])
+        return graph
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"HeteroGraph(node_types={self.node_counts}, "

@@ -61,6 +61,25 @@ class MultiplexGraph:
     def layer(self, relation: str) -> Graph:
         return self._layers[relation]
 
+    @classmethod
+    def from_layers(
+        cls,
+        num_nodes: int,
+        layers: Dict[str, np.ndarray],
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> "MultiplexGraph":
+        """Rebuild a multiplex graph from per-relation edge indexes.
+
+        The inverse of iterating ``relations`` / ``layer(r).edge_index`` —
+        used by serving artifacts to rehydrate the frozen training-pool
+        graph from flat arrays.  Insertion order of ``layers`` is preserved.
+        """
+        graph = cls(num_nodes, x=x, y=y)
+        for relation, edge_index in layers.items():
+            graph.add_layer(relation, np.asarray(edge_index, dtype=np.int64))
+        return graph
+
     def layers(self) -> List[Graph]:
         return list(self._layers.values())
 

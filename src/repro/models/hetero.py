@@ -23,18 +23,33 @@ class HeteroTabClassifier(nn.Module):
 
     def __init__(
         self,
-        dataset: TabularDataset,
-        rng: np.random.Generator,
+        dataset: Optional[TabularDataset] = None,
+        rng: Optional[np.random.Generator] = None,
         hidden_dim: int = 32,
         num_layers: int = 2,
         include_numerical_bins: bool = False,
         dropout: float = 0.0,
+        graph=None,
+        out_dim: Optional[int] = None,
     ) -> None:
+        """Build from a dataset (intrinsic construction) or a prebuilt graph.
+
+        Passing ``graph``/``out_dim`` skips the dataset entirely — the path
+        serving artifacts use to rebuild the architecture from a
+        deserialized :class:`~repro.graph.HeteroGraph`.
+        """
         super().__init__()
-        self.graph = hetero_from_dataset(
-            dataset, include_numerical_bins=include_numerical_bins
-        )
-        out_dim = dataset.num_classes if dataset.task != "regression" else 1
+        if graph is None and dataset is None:
+            raise ValueError("provide either a dataset or a prebuilt graph")
+        if out_dim is None:
+            if dataset is None:
+                raise ValueError("out_dim is required with a prebuilt graph")
+            out_dim = dataset.num_classes if dataset.task != "regression" else 1
+        if graph is None:
+            graph = hetero_from_dataset(
+                dataset, include_numerical_bins=include_numerical_bins
+            )
+        self.graph = graph
         self.network = HeteroGNN(
             self.graph, hidden_dim, out_dim, rng,
             num_layers=num_layers, dropout=dropout,

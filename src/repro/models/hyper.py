@@ -23,16 +23,25 @@ class HypergraphClassifier(nn.Module):
 
     def __init__(
         self,
-        dataset: TabularDataset,
-        rng: np.random.Generator,
+        dataset: Optional[TabularDataset] = None,
+        rng: Optional[np.random.Generator] = None,
         hidden_dim: int = 32,
         num_layers: int = 2,
         n_bins: int = 5,
         dropout: float = 0.0,
+        hypergraph=None,
+        out_dim: Optional[int] = None,
     ) -> None:
         super().__init__()
-        self.hypergraph = hypergraph_from_dataset(dataset, n_bins=n_bins)
-        out_dim = dataset.num_classes if dataset.task != "regression" else 1
+        if hypergraph is None and dataset is None:
+            raise ValueError("provide either a dataset or a prebuilt hypergraph")
+        if out_dim is None:
+            if dataset is None:
+                raise ValueError("out_dim is required with a prebuilt hypergraph")
+            out_dim = dataset.num_classes if dataset.task != "regression" else 1
+        if hypergraph is None:
+            hypergraph = hypergraph_from_dataset(dataset, n_bins=n_bins)
+        self.hypergraph = hypergraph
         self.network = HypergraphGNN(
             self.hypergraph, hidden_dim, out_dim, rng,
             num_layers=num_layers, dropout=dropout,

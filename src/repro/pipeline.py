@@ -9,46 +9,50 @@
 4. **Training Plans** — main task (+ optional auxiliary task), strategy,
    prediction layer.
 
+Phases 1+2 are dispatched through the :mod:`repro.formulations` registry:
+the pipeline never branches on the formulation name — it asks the
+registered :class:`~repro.formulations.Formulation` to fit, build its
+model and expose its transductive forward.  Registering a new formulation
+therefore requires no pipeline edits.
+
 It returns per-phase timing and test metrics, which is exactly what the
-Figure 1 benchmark prints — plus, for the row-wise formulations, a
-:class:`PipelineState` bundling the fitted model, frozen preprocessing and
-graph-construction state so the run can be exported as a
-:class:`repro.serving.ModelArtifact` and serve unseen rows inductively.
+Figure 1 benchmark prints — plus a :class:`PipelineState` bundling the
+trained model with the fitted formulation (frozen preprocessing +
+graph-construction state) so any servable run can be exported as a
+:class:`repro.serving.ModelArtifact` and serve unseen rows.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro import nn
-from repro.construction.rules import knn_graph
+from repro import formulations, nn
 from repro.datasets.preprocessing import TabularPreprocessor, train_val_test_masks
 from repro.datasets.tabular import TabularDataset
-from repro.gnn.networks import build_network
-from repro.graph.homogeneous import Graph
+from repro.formulations import FittedFormulation
 from repro.metrics import accuracy, macro_f1
-from repro.models import (
-    FeatureGraphClassifier,
-    HeteroTabClassifier,
-    HypergraphClassifier,
-    TabGNN,
-)
-from repro.construction.intrinsic import multiplex_from_dataset
 from repro.tensor import Tensor, ops
 from repro.training.tasks import DenoisingAutoencoderTask
 from repro.training.trainer import Trainer
 
-FORMULATIONS = ("instance", "feature", "multiplex", "hetero", "hypergraph")
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.serving.artifact import ModelArtifact
 
-#: Formulations whose fitted state can be exported as a serving artifact.
-#: The row-wise formulations support inductive inference (new rows link into
-#: the frozen pool via retrieval, survey Sec. 4.2.4); the node-heterogeneous
-#: formulations are bound to the training table's value nodes.
-SERVABLE_FORMULATIONS = ("instance", "feature")
+def __getattr__(name: str):
+    """``FORMULATIONS`` is the *live* registry listing (PEP 562).
+
+    Registered formulation names, in registry order — formulations added
+    after import (plug-ins) appear too.  Servability is a per-formulation
+    capability (``formulations.servable()``), not a pipeline-side
+    whitelist.
+    """
+    if name == "FORMULATIONS":
+        return formulations.available()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _field_matrix(
@@ -57,11 +61,12 @@ def _field_matrix(
 ) -> np.ndarray:
     """One standardized column per original field (numerical + ordinal codes).
 
-    When ``preprocessor`` is omitted a fields-mode
-    :class:`~repro.datasets.TabularPreprocessor` is fit on ``dataset`` itself
-    (the historical transductive behavior).  Passing a fitted preprocessor
-    reuses its frozen statistics instead of refitting on every call — the
-    train/serve-parity path used by ``run_pipeline`` and the serving engine.
+    Reference implementation of the feature-graph tokenizer input, kept
+    for tests and notebooks: the feature formulation and the serving
+    engine call ``TabularPreprocessor.transform`` directly with the same
+    frozen statistics.  When ``preprocessor`` is omitted a fields-mode
+    preprocessor is fit on ``dataset`` itself (the historical transductive
+    behavior); passing a fitted one reuses its frozen statistics.
     """
     if preprocessor is None:
         preprocessor = TabularPreprocessor(mode="fields").fit(dataset)
@@ -76,35 +81,51 @@ class PipelineState:
     (a) recompute transductive predictions without retraining and
     (b) export the run as a :class:`repro.serving.ModelArtifact` for
     inductive serving of rows the training graph never contained.
+    The formulation-specific pieces (graph, preprocessing, serve payload)
+    live on :attr:`fitted`; this class just pairs them with the trained
+    model.
     """
 
-    formulation: str
-    network: str
+    fitted: FittedFormulation
     model: nn.Module
-    preprocessor: Optional[TabularPreprocessor]
-    features: Optional[np.ndarray]
-    config: Dict[str, object]
-    graph: Optional[Graph] = None
+    network: str
+
+    @property
+    def formulation(self) -> str:
+        return self.fitted.name
+
+    @property
+    def preprocessor(self) -> Optional[TabularPreprocessor]:
+        return self.fitted.preprocessor
+
+    @property
+    def config(self) -> Dict[str, object]:
+        return self.fitted.config
+
+    @property
+    def graph(self):
+        return getattr(self.fitted, "graph", None)
+
+    @property
+    def features(self) -> Optional[np.ndarray]:
+        return self.fitted.features
 
     def logits(self) -> np.ndarray:
         """Transductive logits over the training table (eval mode)."""
-        self.model.eval()
-        if self.formulation == "feature":
-            return self.model(self.features).data
-        return self.model().data
+        return self.fitted.logits(self.model)
 
     def predictions(self) -> np.ndarray:
         return self.logits().argmax(axis=1)
 
-    def export_artifact(self) -> "object":
+    def export_artifact(self) -> "ModelArtifact":
         """Bundle this run into a :class:`repro.serving.ModelArtifact`."""
         from repro.serving.artifact import ModelArtifact
 
-        if self.formulation not in SERVABLE_FORMULATIONS:
+        if not self.fitted.servable:
             raise NotImplementedError(
                 f"formulation {self.formulation!r} binds the model to the "
-                f"training table's value nodes and cannot serve unseen rows; "
-                f"export one of {SERVABLE_FORMULATIONS}"
+                f"training table and cannot serve unseen rows; "
+                f"export one of {formulations.servable()}"
             )
         return ModelArtifact.from_pipeline_state(self)
 
@@ -126,7 +147,7 @@ class PipelineResult:
             f"acc={self.test_accuracy:.3f} f1={self.test_macro_f1:.3f}  ({timings})"
         )
 
-    def export_artifact(self) -> "object":
+    def export_artifact(self) -> "ModelArtifact":
         if self.state is None:
             raise RuntimeError("this result carries no fitted state to export")
         return self.state.export_artifact()
@@ -150,8 +171,7 @@ def run_pipeline(
     spans every row, but only that fraction of labels is used for the loss
     (survey Sec. 2.5d) — the rest supply structure only.
     """
-    if formulation not in FORMULATIONS:
-        raise ValueError(f"formulation must be one of {FORMULATIONS}")
+    formulation_impl = formulations.get(formulation)  # raises with choices
     if dataset.task == "regression":
         raise ValueError("run_pipeline currently supports classification tasks")
     rng = np.random.default_rng(seed)
@@ -162,58 +182,31 @@ def run_pipeline(
     )
     timings: Dict[str, float] = {}
 
+    # These land in the fitted formulation's config (and hence the serving
+    # artifact): the engine must reconstruct graphs/models with exactly the
+    # values used here.
+    config: Dict[str, object] = {
+        "network": network,
+        "hidden_dim": hidden_dim,
+        "out_dim": out_dim,
+        "k": k,
+        "metric": "euclidean",
+        "num_layers": 2,
+        "embed_dim": hidden_dim // 2,
+        "task": dataset.task,
+    }
+
     # --- Phases 1+2: formulation & construction -------------------------
     start = time.perf_counter()
-    aux_task = None
-    preprocessor: Optional[TabularPreprocessor] = None
-    graph: Optional[Graph] = None
-    x = x_fields = None
-    # These also land in PipelineState.config: the serving engine must
-    # reconstruct graphs/models with exactly the values used here.
-    metric = "euclidean"
-    num_layers = 2
-    embed_dim = hidden_dim // 2
-    if formulation == "instance":
-        # Standardization statistics are fit once on the training split and
-        # frozen (train/serve parity): the same transform the serving engine
-        # later applies to unseen rows produced these node features.
-        preprocessor = TabularPreprocessor(mode="onehot").fit(
-            dataset, row_mask=train_mask
-        )
-        x = preprocessor.transform_dataset(dataset)
-        graph = knn_graph(x, k=k, metric=metric, y=y)
-        model = build_network(
-            network, graph, hidden_dim, out_dim, rng, num_layers=num_layers
-        )
-        forward = model
-    elif formulation == "feature":
-        # Feature-graph methods tokenize *fields* (one node per original
-        # column, Fi-GNN/T2G-Former style), not one-hot indicator columns.
-        preprocessor = TabularPreprocessor(mode="fields").fit(
-            dataset, row_mask=train_mask
-        )
-        x_fields = _field_matrix(dataset, preprocessor)
-        model = FeatureGraphClassifier(
-            x_fields.shape[1], out_dim, rng, embed_dim=embed_dim
-        )
-        forward = lambda: model(x_fields)  # noqa: E731 - tiny pipeline closures
-    elif formulation == "multiplex":
-        graph = multiplex_from_dataset(dataset, include_numerical_bins=True)
-        model = TabGNN(graph, hidden_dim, out_dim, rng)
-        forward = model
-    elif formulation == "hetero":
-        model = HeteroTabClassifier(
-            dataset, rng, hidden_dim=hidden_dim, include_numerical_bins=True
-        )
-        forward = model
-    else:  # hypergraph
-        model = HypergraphClassifier(dataset, rng, hidden_dim=hidden_dim)
-        forward = model
+    fitted = formulation_impl.fit(dataset, train_mask, config)
+    model = fitted.build_model(rng)
+    forward = fitted.forward_fn(model)
     timings["construction"] = time.perf_counter() - start
 
     # --- Phase 4 (wrapping phase 3): training plan -----------------------
-    if with_auxiliary and formulation == "instance":
-        aux_task = DenoisingAutoencoderTask(hidden_dim, x, rng)
+    aux_task = None
+    if with_auxiliary and fitted.aux_features is not None:
+        aux_task = DenoisingAutoencoderTask(hidden_dim, fitted.aux_features, rng)
 
     optimizer_params = list(model.parameters())
     if aux_task is not None:
@@ -245,23 +238,6 @@ def run_pipeline(
     pred = forward().data.argmax(axis=1)
     timings["inference"] = time.perf_counter() - start
 
-    state = PipelineState(
-        formulation=formulation,
-        network=network,
-        model=model,
-        preprocessor=preprocessor,
-        features=x_fields if formulation == "feature" else x,
-        config={
-            "hidden_dim": hidden_dim,
-            "out_dim": out_dim,
-            "k": k,
-            "metric": metric,
-            "num_layers": num_layers,
-            "embed_dim": embed_dim,
-            "task": dataset.task,
-        },
-        graph=graph,
-    )
     return PipelineResult(
         formulation=formulation,
         network=network,
@@ -269,5 +245,5 @@ def run_pipeline(
         test_macro_f1=macro_f1(y[test_mask], pred[test_mask]),
         phase_seconds=timings,
         num_parameters=model.num_parameters(),
-        state=state,
+        state=PipelineState(fitted=fitted, model=model, network=network),
     )

@@ -28,24 +28,28 @@ def _leaf(name, phase, category, implementation, examples) -> TaxonomyLeaf:
 
 TAXONOMY: List[TaxonomyLeaf] = [
     # ----- Phase 1: Graph Formulation -------------------------------------
+    # Pipeline-dispatched formulations point at their registered
+    # repro.formulations classes (the Formulation protocol); the remaining
+    # leaves point at their intrinsic graph builders.
     _leaf("instance graph", "formulation", "homogeneous",
-          "repro.construction.rules.knn_graph", "LUNAR, SLAPS, IDGL, TabGSL"),
+          "repro.formulations.instance.InstanceFormulation",
+          "LUNAR, SLAPS, IDGL, TabGSL"),
     _leaf("feature graph", "formulation", "homogeneous",
-          "repro.construction.intrinsic.feature_graph_from_correlation",
+          "repro.formulations.feature.FeatureFormulation",
           "FI-GNN, T2G-Former, Table2Graph"),
     _leaf("bipartite graph", "formulation", "heterogeneous",
           "repro.construction.intrinsic.bipartite_from_dataset",
           "GRAPE, FATE, IGRM, PET"),
     _leaf("general heterogeneous graph", "formulation", "heterogeneous",
-          "repro.construction.intrinsic.hetero_from_dataset",
+          "repro.formulations.hetero.HeteroFormulation",
           "GCT, HSGNN, xFraud, GraphFC"),
     _leaf("multiplex / multi-relational graph", "formulation", "heterogeneous",
-          "repro.construction.intrinsic.multiplex_from_dataset",
+          "repro.formulations.multiplex.MultiplexFormulation",
           "TabGNN, AMG, GCondNet"),
     _leaf("knowledge graph", "formulation", "heterogeneous",
           "repro.construction.intrinsic.feature_graph_from_knowledge", "PLATO, JenTab"),
     _leaf("hypergraph", "formulation", "hypergraph",
-          "repro.construction.intrinsic.hypergraph_from_dataset",
+          "repro.formulations.hypergraph.HypergraphFormulation",
           "HCL, HyTrel, PET"),
     # ----- Phase 2: Graph Construction ------------------------------------
     _leaf("intrinsic structure", "construction", "intrinsic",

@@ -1,18 +1,21 @@
 """Model serving: artifacts, inductive inference, micro-batched HTTP.
 
-This subsystem takes any servable pipeline (see
-:data:`repro.pipeline.SERVABLE_FORMULATIONS`) from experiment to
+This subsystem takes any servable pipeline (every formulation whose
+:mod:`repro.formulations` class declares ``servable = True`` —
+``formulations.servable()`` lists them) from experiment to
 request-serving:
 
 * :mod:`repro.serving.artifact` — :class:`ModelArtifact`, the deployable
-  bundle of weights + fitted preprocessing + graph-construction state +
-  frozen training pool, persisted as ``.npz`` + JSON sidecar;
+  bundle of weights + fitted preprocessing + the formulation's frozen
+  serve-time payload (retrieval pool, value-node vocabularies, …),
+  persisted as ``.npz`` + versioned JSON sidecar;
 * :mod:`repro.serving.engine` — :class:`InferenceEngine`, inductive scoring
-  of unseen rows by linking them into the frozen pool via retrieval
-  (survey Sec. 4.2.4), with a bounded LRU prediction cache.  For the
-  operator-based stacks (GCN/GraphSAGE/GIN) the engine precomputes the
-  pool's per-layer activations once and propagates only the query rows per
-  request — O(B·k·d), independent of pool size;
+  of unseen rows through the scorer the artifact's fitted formulation
+  provides, with a bounded LRU prediction cache.  Instance graphs link
+  rows into the frozen pool via retrieval (survey Sec. 4.2.4) and
+  propagate only the query rows — O(B·k·d), independent of pool size;
+  multiplex/hetero graphs attach rows to frozen value nodes by vocabulary
+  lookup (never-seen values hit the UNK bucket);
 * :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
   concurrent single-row requests into vectorized engine calls;
 * :mod:`repro.serving.server` — :class:`PredictionServer`, a stdlib-only

@@ -1,16 +1,24 @@
-"""Portable model artifacts: weights + preprocessing + graph state.
+"""Portable model artifacts: weights + preprocessing + formulation state.
 
 A :class:`ModelArtifact` is the unit of deployment for this library.  It
 bundles everything a fresh process needs to reproduce a trained pipeline's
 predictions — the model ``state_dict``, the *fitted* preprocessing
-statistics (train/serve parity), the graph-construction config, and, for
-instance graphs, the frozen training pool (node features + edges) that
-unseen rows link into via retrieval (survey Sec. 4.2.4, PET-style).
+statistics (train/serve parity), the graph-construction config, and the
+**formulation payload**: whatever frozen state the fitted formulation
+needs at serve time (the retrieval pool for instance graphs, value-node
+vocabularies with their UNK buckets for multiplex/hetero, nothing for the
+row-wise feature formulation).  The artifact itself is
+formulation-agnostic: it round-trips the payload as opaque namespaced
+arrays plus a JSON block and delegates model building and scoring to the
+rehydrated :class:`~repro.formulations.FittedFormulation`.
 
 Persistence is deliberately dependency-free: one ``.npz`` holding every
 array, plus a human-readable ``.json`` sidecar holding the config.  Array
-names are namespaced (``param::``, ``prep::``, ``pool::``) so the flat npz
-container round-trips the nested structure losslessly.
+names are namespaced (``param::``, ``prep::``, ``form::``) so the flat npz
+container round-trips the nested structure losslessly.  The sidecar
+carries a ``schema_version``; the loader rejects unknown versions and
+accepts legacy (pre-versioned, ``pool::``-array) sidecars by upgrading
+them to the instance/feature payload layout they implied.
 """
 
 from __future__ import annotations
@@ -24,15 +32,17 @@ import numpy as np
 
 from repro import __version__, nn
 from repro.datasets.preprocessing import TabularPreprocessor
-from repro.gnn.networks import build_network
 from repro.graph.homogeneous import Graph
-from repro.models import FeatureGraphClassifier
 
 _PARAM = "param::"
 _PREP = "prep::"
-_POOL = "pool::"
+_POOL = "pool::"  # legacy (schema v1) instance-pool arrays
+_FORM = "form::"
 
-ARTIFACT_FORMAT_VERSION = 1
+#: Current artifact schema.  v1 (legacy) sidecars carried no
+#: ``schema_version`` key and stored the instance pool under ``pool::``
+#: arrays; v2 stores an opaque per-formulation payload under ``form::``.
+ARTIFACT_SCHEMA_VERSION = 2
 
 
 class _SkipInitGenerator:
@@ -73,10 +83,12 @@ class ModelArtifact:
     Parameters
     ----------
     formulation:
-        One of :data:`repro.pipeline.SERVABLE_FORMULATIONS`.
+        Registered :mod:`repro.formulations` name.  Serving supports every
+        formulation whose class declares ``servable = True``.
     network:
-        Architecture name (``repro.gnn.networks.NETWORKS`` key for instance
-        graphs; ``"feature_graph"`` for the feature formulation).
+        Architecture-builder name, supplied by the fitted formulation
+        (``repro.gnn.networks.NETWORKS`` key for instance graphs,
+        ``"feature_graph"`` / ``"tabgnn"`` / ``"hetero_gnn"`` otherwise).
     config:
         JSON-safe hyperparameters (``hidden_dim``, ``out_dim``, ``k``,
         ``metric``, ``num_layers``, ``embed_dim``, ``task``).
@@ -84,11 +96,14 @@ class ModelArtifact:
         Trained parameter arrays keyed by dotted module path.
     preprocessor:
         Fitted :class:`~repro.datasets.TabularPreprocessor` mapping raw rows
-        into the model's feature space.
+        into the model's feature space (and validating row shapes).
     pool_x / pool_edge_index:
-        Instance formulation only — the frozen training pool's node features
-        and (symmetrized) edges.  New rows attach to this pool at inference
-        time; the pool itself never changes.
+        Instance-formulation convenience accessors for the frozen training
+        pool.  Passing them at construction populates the payload; loading
+        an instance artifact populates them back from it.
+    payload_arrays / payload_meta:
+        The formulation's opaque serve-time state
+        (:meth:`~repro.formulations.FittedFormulation.artifact_payload`).
     metadata:
         Free-form JSON-safe provenance (application name, dataset summary…).
     """
@@ -101,31 +116,81 @@ class ModelArtifact:
     pool_x: Optional[np.ndarray] = None
     pool_edge_index: Optional[np.ndarray] = None
     metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+    payload_arrays: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+    payload_meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self._fitted = None
+        if self.pool_x is not None and "x" not in self.payload_arrays:
+            # Constructed the historical way (explicit pool arrays).
+            if self.pool_edge_index is None:
+                raise ValueError(
+                    "instance artifacts need both pool arrays: pool_x was "
+                    "given without pool_edge_index"
+                )
+            self.pool_x = np.asarray(self.pool_x, dtype=np.float64)
+            self.pool_edge_index = self.pool_edge_index.astype(np.int64)
+            self.payload_arrays = {
+                "x": self.pool_x,
+                "edge_index": self.pool_edge_index,
+                **self.payload_arrays,
+            }
+            self.payload_meta.setdefault("pool_rows", int(self.pool_x.shape[0]))
+        elif self.pool_x is None and self.formulation == "instance":
+            self.pool_x = self.payload_arrays.get("x")
+            self.pool_edge_index = self.payload_arrays.get("edge_index")
 
     # ------------------------------------------------------------------
     @classmethod
     def from_pipeline_state(cls, state) -> "ModelArtifact":
         """Export a :class:`repro.pipeline.PipelineState` (see its docs)."""
+        fitted = state.fitted
+        arrays, meta = fitted.artifact_payload()
         artifact = cls(
-            formulation=state.formulation,
-            network=state.network if state.formulation == "instance" else "feature_graph",
-            config=dict(state.config),
+            formulation=fitted.name,
+            network=fitted.model_builder,
+            config=dict(fitted.config),
             state_dict=state.model.state_dict(),
-            preprocessor=state.preprocessor,
+            preprocessor=fitted.preprocessor,
+            payload_arrays=arrays,
+            payload_meta=meta,
             metadata={"library_version": __version__},
         )
-        if state.formulation == "instance":
-            if state.graph is None:
-                raise ValueError("instance-formulation state must carry its graph")
-            artifact.pool_x = np.asarray(state.graph.x, dtype=np.float64)
-            artifact.pool_edge_index = state.graph.edge_index.astype(np.int64)
-            artifact.metadata["pool_rows"] = int(artifact.pool_x.shape[0])
+        if artifact.pool_rows is not None:
+            artifact.metadata["pool_rows"] = artifact.pool_rows
+        # Reuse the already-fitted formulation (shares its memoized graph
+        # operators) instead of rehydrating from the payload.
+        artifact._fitted = fitted
         return artifact
 
     # ------------------------------------------------------------------
     @property
+    def fitted(self):
+        """The (lazily rehydrated) fitted formulation behind this artifact."""
+        if self._fitted is None:
+            from repro import formulations
+
+            config = dict(self.config)
+            # Pipeline-exported configs carry the builder name already;
+            # hand-assembled artifacts record it only as `network`.
+            config.setdefault("network", self.network)
+            self._fitted = formulations.get(self.formulation).from_payload(
+                self.payload_arrays,
+                self.payload_meta,
+                config,
+                self.preprocessor,
+            )
+        return self._fitted
+
+    @property
     def num_classes(self) -> int:
         return int(self.config["out_dim"])
+
+    @property
+    def pool_rows(self) -> Optional[int]:
+        rows = self.payload_meta.get("pool_rows")
+        return None if rows is None else int(rows)
 
     def pool_graph(self) -> Graph:
         if self.pool_x is None or self.pool_edge_index is None:
@@ -137,36 +202,16 @@ class ModelArtifact:
     ) -> nn.Module:
         """Instantiate the architecture, load the weights, switch to eval.
 
-        Instance-graph networks derive (and memoize) their edge views from
-        the graph they are built on, so the caller passes the pool or
-        induced graph; the returned stack speaks the uniform edge-wise
-        ``propagate`` substrate, which is what lets the serving engine run
-        incremental query propagation for *any* network in the zoo.
-        Feature-graph models are graph-free and can be built once and
-        reused.  ``skip_init`` (the default) zero-fills the freshly
+        The fitted formulation names and builds the architecture; the
+        artifact just supplies a no-op initializer and loads the trained
+        weights.  ``graph`` optionally overrides the construction graph
+        (the instance oracle path builds on the induced pool+queries
+        graph).  ``skip_init`` (the default) zero-fills the freshly
         constructed parameters instead of drawing random initial weights —
         they are overwritten by ``load_state_dict`` either way.
         """
         rng = _SkipInitGenerator() if skip_init else np.random.default_rng(0)
-        if self.formulation == "instance":
-            if graph is None:
-                graph = self.pool_graph()
-            model = build_network(
-                self.network,
-                graph,
-                int(self.config["hidden_dim"]),
-                self.num_classes,
-                rng,
-                num_layers=int(self.config.get("num_layers", 2)),
-            )
-        else:
-            model = FeatureGraphClassifier(
-                self.preprocessor.num_output_features,
-                self.num_classes,
-                rng,
-                embed_dim=int(self.config["embed_dim"]),
-                num_layers=int(self.config.get("num_layers", 2)),
-            )
+        model = self.fitted.build_model(rng, graph=graph)
         model.load_state_dict(self.state_dict)
         model.eval()
         return model
@@ -181,16 +226,17 @@ class ModelArtifact:
         }
         prep_arrays, prep_meta = self.preprocessor.state()
         arrays.update({_PREP + name: value for name, value in prep_arrays.items()})
-        if self.pool_x is not None:
-            arrays[_POOL + "x"] = self.pool_x
-            arrays[_POOL + "edge_index"] = self.pool_edge_index
+        arrays.update(
+            {_FORM + name: value for name, value in self.payload_arrays.items()}
+        )
         np.savez(npz_path, **arrays)
         sidecar = {
-            "format_version": ARTIFACT_FORMAT_VERSION,
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
             "formulation": self.formulation,
             "network": self.network,
             "config": self.config,
             "preprocessor": prep_meta,
+            "formulation_state": self.payload_meta,
             "metadata": self.metadata,
             "parameters": sorted(self.state_dict),
         }
@@ -199,21 +245,53 @@ class ModelArtifact:
 
     @classmethod
     def load(cls, path: Union[str, pathlib.Path]) -> "ModelArtifact":
-        """Reload an artifact saved by :meth:`save` (pass either file)."""
+        """Reload an artifact saved by :meth:`save` (pass either file).
+
+        Legacy sidecars (no ``schema_version``) are upgraded in memory:
+        their ``pool::`` arrays become the instance payload.  Sidecars
+        declaring a schema this library does not know are rejected.
+        """
         npz_path, json_path = _paths(path)
         if not npz_path.exists():
             raise FileNotFoundError(f"artifact arrays not found: {npz_path}")
         if not json_path.exists():
             raise FileNotFoundError(f"artifact sidecar not found: {json_path}")
         sidecar = json.loads(json_path.read_text())
-        version = int(sidecar.get("format_version", 0))
-        if version > ARTIFACT_FORMAT_VERSION:
-            raise ValueError(
-                f"artifact format v{version} is newer than this library "
-                f"(supports v{ARTIFACT_FORMAT_VERSION})"
-            )
+        declared = sidecar.get("schema_version")
         with np.load(npz_path) as data:
             arrays = {name: data[name] for name in data.files}
+        if declared is not None and int(declared) not in (1, ARTIFACT_SCHEMA_VERSION):
+            raise ValueError(
+                f"unknown artifact schema v{declared}; this library supports "
+                f"v{ARTIFACT_SCHEMA_VERSION} (and legacy v1 sidecars, with or "
+                f"without an explicit schema_version)"
+            )
+        if declared is None or int(declared) == 1:
+            legacy = int(sidecar.get("format_version", 0))
+            if legacy > 1:
+                raise ValueError(
+                    f"artifact format v{legacy} is newer than this library "
+                    f"(supports schema v{ARTIFACT_SCHEMA_VERSION} and legacy v1)"
+                )
+            schema_version = 1
+            payload_arrays = {
+                name[len(_POOL):]: arrays[name]
+                for name in arrays
+                if name.startswith(_POOL)
+            }
+            payload_meta = (
+                {"pool_rows": int(payload_arrays["x"].shape[0])}
+                if "x" in payload_arrays
+                else {}
+            )
+        else:
+            schema_version = ARTIFACT_SCHEMA_VERSION
+            payload_arrays = {
+                name[len(_FORM):]: arrays[name]
+                for name in arrays
+                if name.startswith(_FORM)
+            }
+            payload_meta = sidecar.get("formulation_state", {})
         state_dict = {
             name[len(_PARAM):]: arrays[name] for name in arrays if name.startswith(_PARAM)
         }
@@ -235,23 +313,22 @@ class ModelArtifact:
             config=sidecar["config"],
             state_dict=state_dict,
             preprocessor=preprocessor,
-            pool_x=arrays.get(_POOL + "x"),
-            pool_edge_index=(
-                arrays[_POOL + "edge_index"].astype(np.int64)
-                if _POOL + "edge_index" in arrays
-                else None
-            ),
+            payload_arrays=payload_arrays,
+            payload_meta=payload_meta,
             metadata=sidecar.get("metadata", {}),
+            schema_version=schema_version,
         )
 
     def summary(self) -> Dict[str, object]:
         info: Dict[str, object] = {
             "formulation": self.formulation,
             "network": self.network,
+            "schema_version": self.schema_version,
             "classes": self.num_classes,
             "parameters": int(sum(p.size for p in self.state_dict.values())),
         }
-        if self.pool_x is not None:
-            info["pool_rows"] = int(self.pool_x.shape[0])
+        if self.pool_rows is not None:
+            info["pool_rows"] = self.pool_rows
+        if self.pool_edge_index is not None:
             info["pool_edges"] = int(self.pool_edge_index.shape[1])
         return info

@@ -1,44 +1,30 @@
-"""Inductive inference over a frozen training pool.
+"""Formulation-agnostic inductive inference over frozen training state.
 
 The transductive pipelines score exactly the rows they were trained on.
-:class:`InferenceEngine` closes the train/serve gap for the row-wise
-formulations:
+:class:`InferenceEngine` closes the train/serve gap for every servable
+formulation by delegating to the scorer the artifact's fitted formulation
+provides (:meth:`~repro.formulations.FittedFormulation.make_scorer`):
 
 * **instance** — unseen rows are preprocessed with the artifact's frozen
   statistics, linked into the frozen training pool via retrieval
-  (PET-style, survey Sec. 4.2.4), and scored by the GNN in eval mode.
+  (PET-style, survey Sec. 4.2.4), and propagated incrementally: the pool's
+  per-layer activations are cached once, each request computes only the
+  B query rows — O(B·k·d), independent of pool size, for every network in
+  the zoo.  The full-graph rebuild is kept purely as a correctness oracle
+  (``incremental=False``); the two paths agree to floating-point round-off.
 * **feature** — the feature-graph model is row-wise by construction; rows
   are tokenized with the frozen field statistics and scored directly.
+* **multiplex / hetero** — unseen rows attach to *frozen value nodes* by
+  vocabulary lookup: the artifact carries, per column, the mapping from
+  value codes to pool value-node state (with binned numerical columns
+  re-binned through the frozen quantile edges).  Never-seen values land in
+  the UNK bucket (counted in ``stats["unk_values"]``) and still produce
+  valid predictions; the vocabulary never grows at serve time.
 
-Incremental query propagation
------------------------------
-Attach edges are *directed* pool→query, so no message ever flows from a
-query into the pool: every pool node's activation at every GNN layer is
-identical to a pool-only forward, whatever the request.  The engine
-exploits that at construction time (the precompute step):
-
-1. build the model **once** on the pool graph (memoized adjacency
-   operators, weights loaded without wasted random init);
-2. run **one** full forward over the pool and cache the node states
-   entering every propagate step
-   (:meth:`~repro.gnn.networks._NodeNetwork.pool_hidden_states` — for
-   gated networks that is one entry per GRU step);
-3. build a :class:`~repro.construction.retrieval.PoolIndex` so retrieval
-   stops re-deriving pool norms per request.
-
-Per request (the propagate step), only the B query rows are computed: the
-model replays its plan on a tiny bipartite attach view — each query's k
-retrieved neighbors plus a self loop, with the normalization each conv
-family would derive on the induced graph (the directed attach edges leave
-every pool degree untouched, so a query's in-degree is exactly k, plus
-the self loop where the flavor uses one).  Per-request cost is
-**O(B·k·d) — independent of pool size** — versus the full-graph path's
-O(pool + E + B·k) graph rebuild, re-normalization and pool re-forward.
-Because every conv layer speaks the same edge-wise ``propagate``
-substrate, this holds for **all five** networks — GCN, GraphSAGE, GIN,
-GAT and GatedGNN alike.  The full-graph path is kept purely as a
-correctness oracle (``incremental=False``) — the two paths agree to
-floating-point round-off.
+The engine itself is formulation-blind: it validates rows, handles the
+LRU prediction cache and stats, and softmaxes whatever logits the scorer
+returns.  Registering a new formulation therefore requires no engine
+edits.
 
 Repeated rows are memoized in a bounded LRU cache keyed on the raw row
 bytes, so hot rows (the head of a production traffic distribution) skip
@@ -57,8 +43,6 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.construction.retrieval import PoolIndex
-from repro.graph.homogeneous import Graph
 from repro.serving.artifact import ModelArtifact
 from repro.tensor.ops import softmax_rows
 
@@ -74,11 +58,12 @@ class InferenceEngine:
         Maximum number of distinct rows memoized in the LRU prediction
         cache; ``0`` disables caching.
     incremental:
-        ``None``/``True`` (default) uses incremental query propagation —
-        available for every instance-graph network; ``False`` forces the
-        full-graph oracle path.  ``True`` still raises ``ValueError`` for
-        feature-formulation artifacts, which have no pool graph to
-        propagate from.
+        ``None`` (default) lets the formulation pick its best path — the
+        cached-pool incremental path everywhere one exists.  ``False``
+        forces the instance formulation's full-graph oracle; explicit
+        values a formulation cannot honor raise ``ValueError`` (feature
+        artifacts have no pool to propagate from; multiplex/hetero have no
+        full-graph oracle).
 
     Notes
     -----
@@ -107,31 +92,8 @@ class InferenceEngine:
             "forward_passes": 0,
             "forward_rows": 0,
         }
-        if artifact.formulation == "feature":
-            if incremental:
-                raise ValueError(
-                    "feature-formulation artifacts have no pool graph to "
-                    "propagate from; use incremental=None/False"
-                )
-            # Graph-free: build once, reuse for every request.
-            self._model = artifact.build_model()
-            self.incremental = False
-        else:
-            self._pool_x = np.asarray(artifact.pool_x, dtype=np.float64)
-            self._pool_edges = artifact.pool_edge_index.astype(np.int64)
-            self._pool_index = PoolIndex(
-                self._pool_x,
-                measure=str(artifact.config.get("metric", "euclidean")),
-            )
-            self.incremental = True if incremental is None else bool(incremental)
-            if self.incremental:
-                # One model for the engine's lifetime, built on the pool
-                # graph, then the precompute step: one pool-only forward,
-                # cached forever.  The oracle path (incremental=False)
-                # instead rebuilds a model on the induced graph per
-                # request, so it has no use for either.
-                self._model = artifact.build_model(artifact.pool_graph())
-                self._pool_hiddens = self._model.pool_hidden_states()
+        self._scorer = artifact.fitted.make_scorer(artifact, incremental, self.stats)
+        self.incremental = bool(self._scorer.incremental)
 
     # ------------------------------------------------------------------
     @property
@@ -148,52 +110,11 @@ class InferenceEngine:
         return (num_row.tobytes(), cat_row.tobytes())
 
     # ------------------------------------------------------------------
-    def _forward_full(
-        self, features: np.ndarray, neighbors: np.ndarray
-    ) -> np.ndarray:
-        """Correctness-oracle path: rebuild the (pool + queries) graph.
-
-        Pays O(pool + E) per request — kept solely as the reference the
-        incremental path is tested against (``incremental=False``).
-        """
-        batch = features.shape[0]
-        n_pool = self._pool_x.shape[0]
-        k = neighbors.shape[1]
-        query_ids = n_pool + np.arange(batch, dtype=np.int64)
-        attach = np.stack([neighbors.reshape(-1), np.repeat(query_ids, k)])
-        edge_index = np.concatenate([self._pool_edges, attach], axis=1)
-        graph = Graph(
-            n_pool + batch,
-            edge_index,
-            x=np.concatenate([self._pool_x, features], axis=0),
-        )
-        model = self.artifact.build_model(graph)
-        return model().data[n_pool:]
-
     def _forward(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
         """One vectorized forward pass over a (B, …) row batch → (B, C) probs."""
-        features = self.artifact.preprocessor.transform(numerical, categorical)
-        if self.artifact.formulation == "feature":
-            model = self._model
-            model.eval()
-            logits = model(features).data
-        else:
-            n_pool = self._pool_x.shape[0]
-            k = min(int(self.artifact.config["k"]), n_pool)
-            # Directed pool→query attachment edges: queries aggregate from
-            # their retrieved neighbors but leave every pool node's degree
-            # (and hence the GNN's normalization over the pool) untouched.
-            # Predictions are therefore exactly independent of which other
-            # queries share the batch — safe to micro-batch and to memoize.
-            neighbors = self._pool_index.top_k(features, k)
-            if self.incremental:
-                logits = self._model.propagate_queries(
-                    features, neighbors, self._pool_hiddens
-                )
-            else:
-                logits = self._forward_full(features, neighbors)
+        logits = self._scorer.score(numerical, categorical)
         self.stats["forward_passes"] += 1
-        self.stats["forward_rows"] += features.shape[0]
+        self.stats["forward_rows"] += numerical.shape[0]
         probs = softmax_rows(logits, axis=1)
         # Rows of this array end up in the LRU cache and are returned by
         # reference; freeze them so caller mutation raises instead of

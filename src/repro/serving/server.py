@@ -136,21 +136,19 @@ class PredictionServer:
     def health(self) -> Dict[str, object]:
         """Liveness plus which inference path this deployment runs.
 
-        ``network``/``incremental``/``pool_rows`` are surfaced at the top
-        level so operators can verify a deployment serves the pool-size-
-        independent incremental path (always true for instance-graph
-        artifacts unless explicitly disabled) without digging through the
-        artifact summary.
+        ``formulation``/``network``/``schema_version``/``incremental``/
+        ``pool_rows`` are surfaced at the top level so operators can verify
+        what a deployment serves — which formulation and artifact schema,
+        and whether requests ride a cached-pool incremental path — without
+        digging through the artifact summary.
         """
         return {
             "status": "ok",
+            "formulation": self.artifact.formulation,
             "network": self.artifact.network,
+            "schema_version": int(self.artifact.schema_version),
             "incremental": bool(self.engine.incremental),
-            "pool_rows": (
-                int(self.artifact.pool_x.shape[0])
-                if self.artifact.pool_x is not None
-                else None
-            ),
+            "pool_rows": self.artifact.pool_rows,
             "artifact": self.artifact.summary(),
             "engine": dict(self.engine.stats),
             "batcher": dict(self.batcher.stats),

@@ -125,16 +125,16 @@ class TestIncrementalParity:
             builds.append(original(graph)) or builds[-1]
         )
         engine = InferenceEngine(artifact, cache_size=0)
-        model = engine._model
+        model = engine._scorer.model
         for i in range(3):
             engine.predict(dataset.numerical[i] + 0.01)
-        assert engine._model is model
+        assert engine._scorer.model is model
         assert len(builds) == 1, "incremental path must not rebuild per request"
 
     def test_propagate_queries_validates_inputs(self):
         _, artifact = _instance_artifact("gcn", "euclidean")
         engine = InferenceEngine(artifact, cache_size=0)
-        model, hiddens = engine._model, engine._pool_hiddens
+        model, hiddens = engine._scorer.model, engine._scorer.pool_hiddens
         good = np.zeros((2, artifact.pool_x.shape[1]))
         with pytest.raises(ValueError, match="features"):
             model.propagate_queries(np.zeros((2, 3)), np.zeros((2, K), np.int64), hiddens)

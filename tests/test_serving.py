@@ -144,9 +144,12 @@ class TestArtifactRoundTrip:
             ModelArtifact.load(npz)
 
     def test_unservable_formulation_refuses_export(self):
+        # Hypergraph rows-as-hyperedges state is bound to the training
+        # incidence structure; it is the one formulation without a serving
+        # path (multiplex/hetero gained one via value-node vocabularies).
         ds = make_fraud(n=120, seed=0)
-        result = run_pipeline(ds, formulation="multiplex", max_epochs=3, seed=0)
-        with pytest.raises(NotImplementedError):
+        result = run_pipeline(ds, formulation="hypergraph", max_epochs=3, seed=0)
+        with pytest.raises(NotImplementedError, match="hypergraph"):
             result.export_artifact()
 
 
