@@ -25,11 +25,13 @@ from repro.construction.rules import (
     threshold_graph,
 )
 from repro.construction.intrinsic import (
+    HypergraphSpec,
     bipartite_from_dataset,
     feature_graph_from_correlation,
     feature_graph_from_knowledge,
     hetero_from_dataset,
     hypergraph_from_dataset,
+    hypergraph_spec_from_dataset,
     multiplex_from_dataset,
 )
 from repro.construction.learned import (
@@ -59,7 +61,9 @@ __all__ = [
     "feature_graph_from_correlation",
     "feature_graph_from_knowledge",
     "hetero_from_dataset",
+    "HypergraphSpec",
     "hypergraph_from_dataset",
+    "hypergraph_spec_from_dataset",
     "multiplex_from_dataset",
     "DirectGraphLearner",
     "MetricGraphLearner",

@@ -188,12 +188,132 @@ def multiplex_from_dataset(
     return graph
 
 
-def hypergraph_from_dataset(
+@dataclasses.dataclass(frozen=True)
+class HypergraphSpec:
+    """Frozen row → value-node membership map of a rows-as-hyperedges build.
+
+    The hypergraph construction turns every (column, value) pair into one
+    value node; a row's hyperedge is the set of nodes its cells hit.  This
+    spec freezes everything a serving artifact needs to re-derive that
+    membership for *query* rows with training-time semantics: the global id
+    offsets per column, the categorical cardinalities (ids at or beyond a
+    column's training cardinality are never-seen values → no membership,
+    the UNK fallback), which numerical columns were treated as binary
+    membership flags, and the fitted quantile edges for the binned ones.
+
+    ``encode`` reproduces the training incidence exactly when fed the
+    training table, which is what makes served training rows match their
+    transductive logits.
+    """
+
+    cat_cardinalities: np.ndarray  # (n_cat,) training cardinalities
+    cat_offsets: np.ndarray  # (n_cat,) global value-id offset per column
+    binary_cols: np.ndarray  # numerical column indices with 0/1 semantics
+    binary_offsets: np.ndarray  # (n_binary,) value id of each membership node
+    continuous_cols: np.ndarray  # numerical column indices, quantile-binned
+    cont_offsets: np.ndarray  # (n_cont,) first value id of each column's bins
+    bin_edges: np.ndarray  # (n_cont, n_bins - 1) fitted quantile edges
+    num_values: int  # total value-node count (fixed at fit time)
+
+    @property
+    def num_member_columns(self) -> int:
+        """Membership columns per row (categorical + binary + binned)."""
+        return int(
+            self.cat_offsets.size
+            + self.binary_offsets.size
+            + self.cont_offsets.size
+        )
+
+    def encode(
+        self,
+        numerical: np.ndarray,
+        categorical: np.ndarray,
+        stats: Optional[Dict[str, int]] = None,
+    ) -> np.ndarray:
+        """Global value-node ids ``(B, num_member_columns)``; ``-1`` = none.
+
+        Missing cells (NaN numericals, ``-1`` categorical codes) and
+        never-seen categorical codes both yield ``-1`` — no membership, the
+        same zero-message fallback an all-missing training row gets.  When
+        ``stats`` is given, never-seen codes increment ``stats["unk_values"]``
+        (missing cells do not: absent is not unknown).
+        """
+        numerical = np.asarray(numerical, dtype=np.float64)
+        categorical = np.asarray(categorical, dtype=np.int64)
+        n = numerical.shape[0] if numerical.ndim == 2 else categorical.shape[0]
+        blocks: List[np.ndarray] = []
+        if self.cat_offsets.size:
+            codes = categorical[:, : self.cat_offsets.size]
+            seen = (codes >= 0) & (codes < self.cat_cardinalities[None, :])
+            if stats is not None:
+                stats["unk_values"] += int(
+                    np.count_nonzero(codes >= self.cat_cardinalities[None, :])
+                )
+            blocks.append(np.where(seen, codes + self.cat_offsets[None, :], -1))
+        if self.binary_cols.size:
+            values = numerical[:, self.binary_cols]
+            member = ~np.isnan(values) & (values == 1.0)
+            blocks.append(np.where(member, self.binary_offsets[None, :], -1))
+        if self.continuous_cols.size:
+            binned = np.stack(
+                [
+                    bin_codes(numerical[:, col], self.bin_edges[i])
+                    for i, col in enumerate(self.continuous_cols)
+                ],
+                axis=1,
+            )
+            blocks.append(
+                np.where(binned >= 0, binned + self.cont_offsets[None, :], -1)
+            )
+        if not blocks:
+            return np.full((n, 0), -1, dtype=np.int64)
+        return np.concatenate(blocks, axis=1).astype(np.int64)
+
+    def state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """(arrays, json-safe meta) for artifact serialization."""
+        arrays = {
+            "cat_cardinalities": self.cat_cardinalities,
+            "cat_offsets": self.cat_offsets,
+            "binary_cols": self.binary_cols,
+            "binary_offsets": self.binary_offsets,
+            "continuous_cols": self.continuous_cols,
+            "cont_offsets": self.cont_offsets,
+            "bin_edges": self.bin_edges,
+        }
+        return arrays, {"num_values": int(self.num_values)}
+
+    @classmethod
+    def from_state(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "HypergraphSpec":
+        def _ints(name: str) -> np.ndarray:
+            return np.asarray(arrays[name], dtype=np.int64).reshape(-1)
+
+        n_cont = _ints("continuous_cols").size
+        bin_edges = np.asarray(arrays["bin_edges"], dtype=np.float64)
+        # reshape(0, -1) is ill-defined for the empty array a dataset with
+        # no binned columns persists; keep its (0, k) shape explicitly.
+        bin_edges = (
+            bin_edges.reshape(n_cont, -1) if n_cont else bin_edges.reshape(0, 0)
+        )
+        return cls(
+            cat_cardinalities=_ints("cat_cardinalities"),
+            cat_offsets=_ints("cat_offsets"),
+            binary_cols=_ints("binary_cols"),
+            binary_offsets=_ints("binary_offsets"),
+            continuous_cols=_ints("continuous_cols"),
+            cont_offsets=_ints("cont_offsets"),
+            bin_edges=bin_edges,
+            num_values=int(meta["num_values"]),
+        )
+
+
+def hypergraph_spec_from_dataset(
     dataset: TabularDataset,
     n_bins: int = 5,
     include_numerical_bins: bool = True,
-) -> Hypergraph:
-    """Rows-as-hyperedges hypergraph over feature-value nodes (HCL/PET).
+) -> HypergraphSpec:
+    """Fit the frozen :class:`HypergraphSpec` the hypergraph build uses.
 
     Categorical values become nodes directly.  Numerical columns are
     quantile-binned into value nodes — except *binary* (0/1) columns such as
@@ -201,12 +321,16 @@ def hypergraph_from_dataset(
     joined exactly when the value is 1 (binning a mostly-constant column
     would collapse all rows into one degenerate bin).
     """
-    value_blocks: list[np.ndarray] = []
-    offsets = 0
+    offset = 0
     if dataset.num_categorical:
-        ids = dataset.global_value_ids()
-        value_blocks.append(ids)
-        offsets = dataset.num_category_values
+        cardinalities = np.asarray(dataset.cardinalities, dtype=np.int64)
+        cat_offsets = np.cumsum(np.concatenate([[0], cardinalities[:-1]]))
+        offset = int(cardinalities.sum())
+    else:
+        cardinalities = cat_offsets = np.zeros(0, dtype=np.int64)
+    binary_cols = continuous_cols = np.zeros(0, dtype=np.int64)
+    binary_offsets = cont_offsets = np.zeros(0, dtype=np.int64)
+    bin_edges = np.zeros((0, max(n_bins - 1, 0)))
     if include_numerical_bins and dataset.num_numerical:
         numerical = dataset.numerical
         observed = ~np.isnan(numerical)
@@ -214,28 +338,52 @@ def hypergraph_from_dataset(
             bool(np.isin(numerical[observed[:, j], j], (0.0, 1.0)).all())
             for j in range(dataset.num_numerical)
         ])
-        binary_cols = np.nonzero(is_binary)[0]
-        if binary_cols.size:
-            block = np.full((dataset.num_instances, binary_cols.size), -1, dtype=np.int64)
-            for out_j, j in enumerate(binary_cols):
-                members = observed[:, j] & (numerical[:, j] == 1.0)
-                block[members, out_j] = offsets + out_j
-            value_blocks.append(block)
-            offsets += int(binary_cols.size)
-        continuous_cols = np.nonzero(~is_binary)[0]
+        binary_cols = np.nonzero(is_binary)[0].astype(np.int64)
+        binary_offsets = offset + np.arange(binary_cols.size, dtype=np.int64)
+        offset += int(binary_cols.size)
+        continuous_cols = np.nonzero(~is_binary)[0].astype(np.int64)
         if continuous_cols.size:
-            binned = KBinsDiscretizer(n_bins).fit_transform(numerical[:, continuous_cols])
-            shifted = np.where(
-                binned >= 0,
-                binned + offsets + np.arange(continuous_cols.size)[None, :] * n_bins,
-                -1,
+            disc = KBinsDiscretizer(n_bins).fit(numerical[:, continuous_cols])
+            bin_edges = np.stack(disc.edges_)
+            cont_offsets = offset + n_bins * np.arange(
+                continuous_cols.size, dtype=np.int64
             )
-            value_blocks.append(shifted)
-            offsets += int(continuous_cols.size) * n_bins
-    if not value_blocks:
+            offset += int(continuous_cols.size) * n_bins
+    if offset == 0:
         raise ValueError("hypergraph formulation needs at least one value column")
-    value_ids = np.concatenate(value_blocks, axis=1)
-    return Hypergraph.from_value_table(value_ids, num_values=offsets, y=dataset.y)
+    return HypergraphSpec(
+        cat_cardinalities=cardinalities,
+        cat_offsets=cat_offsets,
+        binary_cols=binary_cols,
+        binary_offsets=binary_offsets,
+        continuous_cols=continuous_cols,
+        cont_offsets=cont_offsets,
+        bin_edges=bin_edges,
+        num_values=offset,
+    )
+
+
+def hypergraph_from_dataset(
+    dataset: TabularDataset,
+    n_bins: int = 5,
+    include_numerical_bins: bool = True,
+    spec: Optional[HypergraphSpec] = None,
+) -> Hypergraph:
+    """Rows-as-hyperedges hypergraph over feature-value nodes (HCL/PET).
+
+    See :func:`hypergraph_spec_from_dataset` for how cells map to value
+    nodes; pass an already-fitted ``spec`` to reuse its frozen encoder (the
+    servable formulation does, so the persisted spec and the training
+    incidence can never drift apart).
+    """
+    if spec is None:
+        spec = hypergraph_spec_from_dataset(
+            dataset, n_bins=n_bins, include_numerical_bins=include_numerical_bins
+        )
+    value_ids = spec.encode(dataset.numerical, dataset.categorical)
+    return Hypergraph.from_value_table(
+        value_ids, num_values=spec.num_values, y=dataset.y
+    )
 
 
 def feature_graph_from_correlation(

@@ -81,3 +81,33 @@ class HypergraphGNN(nn.Module):
     def embed(self) -> Tensor:
         """Hyperedge (row) representations before the head."""
         return ops.spmm(self._node_to_edge, self.node_states())
+
+    # ------------------------------------------------------------------
+    # incremental serving: frozen node states + query-hyperedge attach
+    # ------------------------------------------------------------------
+    def pool_node_states(self) -> np.ndarray:
+        """The frozen value-node states incremental serving caches once.
+
+        A query row attaches as a *new hyperedge*, and the readout is a
+        node→edge mean over the states leaving the last conv layer — unlike
+        query-node formulations there is no per-layer replay to run, so this
+        single ``(num_nodes, hidden)`` matrix is the entire pool-side state.
+        Call in eval mode (dropout off), as :class:`repro.serving`'s
+        ``ModelArtifact.build_model`` does.
+        """
+        return self.node_states().data
+
+    def propagate_queries(
+        self, attach_view, node_states: np.ndarray
+    ) -> np.ndarray:
+        """Logits for query hyperedges attached over frozen node states.
+
+        ``attach_view`` is :meth:`repro.graph.Hypergraph.attach_view`'s
+        directed node→query-hyperedge view; aggregation runs through the
+        same :class:`~repro.graph.homogeneous.EdgeView` gather/segment
+        substrate every conv layer's ``propagate`` uses, so the cost is
+        O(B·members·d) — independent of how many rows the training
+        hypergraph holds.
+        """
+        edge_states = attach_view.aggregate(Tensor(node_states))
+        return self.head(edge_states).data

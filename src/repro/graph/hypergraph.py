@@ -9,7 +9,7 @@ hyperedges) drives HGNN-style convolution:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -85,6 +85,103 @@ class Hypergraph:
         return (sp.diags(safe_reciprocal(dv)) @ self.incidence).tocsr()
 
     # ------------------------------------------------------------------
+    # serving: attach views and state serialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _memberships(member_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Deduplicated ``(node, hyperedge)`` membership pairs from an id table.
+
+        ``member_ids[b, c]`` is the global value-node id row ``b`` takes in
+        membership column ``c``; negatives mark missing/UNK cells and create
+        no membership — exactly :meth:`from_value_table`'s convention.
+        """
+        member_ids = np.asarray(member_ids, dtype=np.int64)
+        if member_ids.ndim != 2:
+            raise ValueError("member_ids must be a 2-D (B, columns) table")
+        rows, cols = np.nonzero(member_ids >= 0)
+        nodes = member_ids[rows, cols]
+        pairs = np.unique(np.stack([rows, nodes], axis=1), axis=0)
+        return pairs[:, 1], pairs[:, 0], int(member_ids.shape[0])
+
+    def attach_view(self, member_ids: np.ndarray):
+        """Directed node→query-hyperedge aggregation view for B query rows.
+
+        Serving attaches each query row as a *new hyperedge* over the frozen
+        value nodes: the returned :class:`~repro.graph.homogeneous.EdgeView`
+        is bipartite — ``src`` indexes this hypergraph's value-node table,
+        ``dst`` indexes the B query hyperedges (``num_nodes`` = B destination
+        buckets) — with ``1/degree`` weights replicating exactly the
+        ``De^-1 H^T`` readout a training hyperedge gets.  Edges are directed
+        node→query, so value-node states (and every training hyperedge's
+        logits) are invariant to attached queries.  A query with no
+        memberships (all cells missing/UNK) gets no edges and aggregates to
+        the zero state — the same fallback an all-missing training row has.
+        Building the view is O(B·columns), independent of pool size.
+        """
+        src, dst, n_queries = self._memberships(member_ids)
+        if src.size and int(src.max()) >= self.num_nodes:
+            raise ValueError("member id exceeds the frozen value-node count")
+        from repro.graph.homogeneous import EdgeView
+
+        degrees = np.bincount(dst, minlength=n_queries).astype(np.float64)
+        return EdgeView(src, dst, n_queries, weight=1.0 / degrees[dst])
+
+    def with_hyperedges(self, member_ids: np.ndarray) -> "Hypergraph":
+        """Copy with B query hyperedges appended as new incidence columns.
+
+        The attach is *directed*: the node→node :meth:`hgnn_operator` (node
+        degrees and the ``H De^-1 H^T`` mixing) is still computed from the
+        original columns only, so value-node states are exactly those of the
+        frozen hypergraph, while the :meth:`node_to_edge_operator` readout
+        covers the appended columns with their own degrees.  This is the
+        full-graph correctness oracle for incremental hypergraph serving:
+        ``forward()`` on the attached copy reproduces training-hyperedge
+        logits bit-for-bit and scores the queries through the model's
+        ordinary spmm path.
+        """
+        src, dst, n_queries = self._memberships(member_ids)
+        if src.size and int(src.max()) >= self.num_nodes:
+            raise ValueError("member id exceeds the frozen value-node count")
+        extra = sp.csr_matrix(
+            (np.ones(src.shape[0]), (src, dst)),
+            shape=(self.num_nodes, n_queries),
+        )
+        incidence = sp.hstack([self.incidence, extra], format="csr")
+        return _AttachedHypergraph(incidence, base_hyperedges=self.num_hyperedges)
+
+    def state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """(arrays, json-safe meta) serialization of the incidence structure.
+
+        Only the frozen structure is persisted — features and labels are
+        training-side state a serving artifact does not need.
+        """
+        arrays = {
+            "indptr": self.incidence.indptr.astype(np.int64),
+            "indices": self.incidence.indices.astype(np.int64),
+            "data": self.incidence.data.astype(np.float64),
+        }
+        meta = {
+            "num_nodes": self.num_nodes,
+            "num_hyperedges": self.num_hyperedges,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "Hypergraph":
+        """Rebuild a hypergraph serialized by :meth:`state`."""
+        incidence = sp.csr_matrix(
+            (
+                np.asarray(arrays["data"], dtype=np.float64),
+                np.asarray(arrays["indices"], dtype=np.int64),
+                np.asarray(arrays["indptr"], dtype=np.int64),
+            ),
+            shape=(int(meta["num_nodes"]), int(meta["num_hyperedges"])),
+        )
+        return cls(incidence)
+
+    # ------------------------------------------------------------------
     @classmethod
     def from_value_table(
         cls,
@@ -118,3 +215,20 @@ class Hypergraph:
             f"Hypergraph(num_nodes={self.num_nodes}, "
             f"num_hyperedges={self.num_hyperedges})"
         )
+
+
+class _AttachedHypergraph(Hypergraph):
+    """A hypergraph with query columns appended under directed semantics.
+
+    Produced by :meth:`Hypergraph.with_hyperedges`; the node→node operator
+    sees only the first ``base_hyperedges`` columns so attached queries
+    cannot perturb the frozen value-node states.
+    """
+
+    def __init__(self, incidence: sp.spmatrix, base_hyperedges: int) -> None:
+        super().__init__(incidence)
+        self.base_hyperedges = int(base_hyperedges)
+
+    def hgnn_operator(self) -> sp.csr_matrix:
+        base = Hypergraph(self.incidence[:, : self.base_hyperedges])
+        return base.hgnn_operator()

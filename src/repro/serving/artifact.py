@@ -6,8 +6,9 @@ predictions — the model ``state_dict``, the *fitted* preprocessing
 statistics (train/serve parity), the graph-construction config, and the
 **formulation payload**: whatever frozen state the fitted formulation
 needs at serve time (the retrieval pool for instance graphs, value-node
-vocabularies with their UNK buckets for multiplex/hetero, nothing for the
-row-wise feature formulation).  The artifact itself is
+vocabularies with their UNK buckets for multiplex/hetero, the incidence
+structure plus the frozen row→value-node encoder for hypergraph, nothing
+for the row-wise feature formulation).  The artifact itself is
 formulation-agnostic: it round-trips the payload as opaque namespaced
 arrays plus a JSON block and delegates model building and scoring to the
 rehydrated :class:`~repro.formulations.FittedFormulation`.
@@ -198,15 +199,17 @@ class ModelArtifact:
         return Graph(self.pool_x.shape[0], self.pool_edge_index, x=self.pool_x)
 
     def build_model(
-        self, graph: Optional[Graph] = None, skip_init: bool = True
+        self, graph: Optional[object] = None, skip_init: bool = True
     ) -> nn.Module:
         """Instantiate the architecture, load the weights, switch to eval.
 
         The fitted formulation names and builds the architecture; the
         artifact just supplies a no-op initializer and loads the trained
         weights.  ``graph`` optionally overrides the construction graph
-        (the instance oracle path builds on the induced pool+queries
-        graph).  ``skip_init`` (the default) zero-fills the freshly
+        with whatever structure the formulation builds on — the instance
+        oracle path passes an induced pool+queries :class:`Graph`, the
+        hypergraph oracle an attached incidence copy.  ``skip_init``
+        (the default) zero-fills the freshly
         constructed parameters instead of drawing random initial weights —
         they are overwritten by ``load_state_dict`` either way.
         """

@@ -20,6 +20,13 @@ provides (:meth:`~repro.formulations.FittedFormulation.make_scorer`):
   re-binned through the frozen quantile edges).  Never-seen values land in
   the UNK bucket (counted in ``stats["unk_values"]``) and still produce
   valid predictions; the vocabulary never grows at serve time.
+* **hypergraph** — each unseen row attaches as a *new hyperedge* over the
+  frozen value nodes: the artifact carries the incidence structure and the
+  frozen row→value-node encoder, the scorer caches the value-node states
+  once, and a query is the degree-normalized mean of its member nodes'
+  cached states — O(B·n_features·d), independent of the training-table
+  size, with the attached full-graph forward kept as the parity oracle
+  (``incremental=False``).
 
 The engine itself is formulation-blind: it validates rows, handles the
 LRU prediction cache and stats, and softmaxes whatever logits the scorer

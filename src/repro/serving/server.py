@@ -41,6 +41,13 @@ class _BadRequest(ValueError):
     """Client error → HTTP 400 with an explanatory JSON body."""
 
 
+#: How much of an oversized (already-rejected) body the handler drains
+#: before closing the socket — enough for any realistic over-limit client
+#: to have its 413 delivered cleanly, bounded so a hostile stream cannot
+#: occupy the handler thread indefinitely.
+_DRAIN_LIMIT = 1 << 25  # 32 MiB
+
+
 def _parse_row(row: Dict[str, object]) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     if not isinstance(row, dict) or "numerical" not in row:
         raise _BadRequest('each row must be an object with a "numerical" list')
@@ -72,8 +79,12 @@ class PredictionServer:
         max_batch_size: int = 32,
         max_delay_ms: float = 2.0,
         cache_size: int = 256,
+        max_body_bytes: int = 1 << 20,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self.artifact = artifact
+        self.max_body_bytes = int(max_body_bytes)
         self.engine = InferenceEngine(artifact, cache_size=cache_size)
         self.batcher = MicroBatcher(
             self.engine, max_batch_size=max_batch_size, max_delay_ms=max_delay_ms
@@ -103,7 +114,35 @@ class PredictionServer:
                     self._send_json(404, {"error": f"unknown path {self.path}"})
                     return
                 try:
-                    length = int(self.headers.get("Content-Length", 0))
+                    try:
+                        length = int(self.headers.get("Content-Length", 0))
+                    except (TypeError, ValueError):
+                        self._send_json(
+                            400, {"error": "invalid Content-Length header"}
+                        )
+                        return
+                    if length > server.max_body_bytes:
+                        # Refuse before buffering: an oversized body must
+                        # never be held in memory.  The connection is closed
+                        # so the remainder cannot be misparsed as a follow-up
+                        # request, but the body is first drained (in fixed
+                        # chunks, up to a bound) — closing with unread data
+                        # pending would RST the socket and destroy the 413
+                        # response before the client could read it.
+                        self.close_connection = True
+                        self._send_json(413, {
+                            "error": (
+                                f"request body of {length} bytes exceeds the "
+                                f"{server.max_body_bytes}-byte limit"
+                            )
+                        })
+                        remaining = min(length, _DRAIN_LIMIT)
+                        while remaining > 0:
+                            chunk = self.rfile.read(min(remaining, 1 << 16))
+                            if not chunk:
+                                break
+                            remaining -= len(chunk)
+                        return
                     try:
                         payload = json.loads(self.rfile.read(length) or b"{}")
                     except json.JSONDecodeError as exc:
@@ -239,6 +278,8 @@ def main(argv=None) -> int:
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-delay-ms", type=float, default=2.0)
     parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                        help="reject request bodies larger than this (HTTP 413)")
     args = parser.parse_args(argv)
 
     try:
@@ -252,6 +293,7 @@ def main(argv=None) -> int:
         max_batch_size=args.max_batch_size,
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
+        max_body_bytes=args.max_body_bytes,
     )
     summary = ", ".join(f"{k}={v}" for k, v in artifact.summary().items())
     print(f"serving {summary}")

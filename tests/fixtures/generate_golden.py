@@ -1,0 +1,157 @@
+"""Regenerate the golden artifact fixtures (run from the repo root).
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+Produces, next to this script:
+
+* ``golden_v1.npz/.json`` — a tiny *legacy* (schema v1) instance artifact:
+  ``pool::`` arrays, ``format_version`` key, no ``schema_version`` — the
+  on-disk layout the library wrote before the versioned ``form::`` schema;
+* ``golden_v2.npz/.json`` — a tiny schema-v2 hypergraph artifact
+  (namespaced ``form::`` payload, ``schema_version`` sidecar);
+* ``golden_expected.npz`` — the query rows plus the class probabilities
+  each artifact must keep producing for them.
+
+Weights are *deterministic* (index-derived, no RNG), so regenerating on
+any platform yields the same predictions; regeneration is only needed if
+the artifact schema itself changes (in which case add a new golden pair
+rather than rewriting these — they exist to prove old saves keep loading).
+"""
+
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.construction.rules import knn_graph  # noqa: E402
+from repro.datasets.preprocessing import TabularPreprocessor  # noqa: E402
+from repro.datasets.tabular import TabularDataset  # noqa: E402
+from repro.formulations import HypergraphFormulation  # noqa: E402
+from repro.gnn.networks import build_network  # noqa: E402
+from repro.serving import InferenceEngine, ModelArtifact  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def _freeze_weights(model):
+    """Overwrite every parameter with small index-derived values."""
+    state = model.state_dict()
+    frozen = {}
+    for i, name in enumerate(sorted(state)):
+        shape = state[name].shape
+        size = int(np.prod(shape)) if shape else 1
+        values = 0.05 * np.sin(np.arange(size, dtype=np.float64) + i)
+        frozen[name] = values.reshape(shape)
+    model.load_state_dict(frozen)
+    return frozen
+
+
+def _tiny_instance_dataset():
+    n = 8
+    numerical = np.stack(
+        [np.linspace(-1.0, 1.0, n), np.linspace(1.0, -1.0, n) ** 2], axis=1
+    )
+    y = (np.arange(n) % 2).astype(np.int64)
+    return TabularDataset(numerical, None, y, "binary")
+
+
+def make_golden_v1():
+    dataset = _tiny_instance_dataset()
+    prep = TabularPreprocessor(mode="onehot").fit(dataset)
+    x = prep.transform_dataset(dataset)
+    graph = knn_graph(x, k=2, metric="euclidean", y=dataset.y)
+    model = build_network(
+        "gcn", graph, 4, 2, np.random.default_rng(0), num_layers=2
+    )
+    state_dict = _freeze_weights(model)
+    artifact = ModelArtifact(
+        formulation="instance",
+        network="gcn",
+        config={
+            "hidden_dim": 4, "out_dim": 2, "k": 2, "metric": "euclidean",
+            "num_layers": 2, "embed_dim": 2, "task": "binary",
+        },
+        state_dict=state_dict,
+        preprocessor=prep,
+        pool_x=np.asarray(graph.x, dtype=np.float64),
+        pool_edge_index=graph.edge_index.astype(np.int64),
+    )
+    path = artifact.save(HERE / "golden_v1")
+    # Rewrite to the exact legacy (pre-versioned) on-disk layout.
+    with np.load(path) as data:
+        arrays = {
+            name.replace("form::", "pool::"): data[name] for name in data.files
+        }
+    np.savez(path, **arrays)
+    sidecar = json.loads(path.with_suffix(".json").read_text())
+    del sidecar["schema_version"]
+    del sidecar["formulation_state"]
+    sidecar["format_version"] = 1
+    path.with_suffix(".json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    return artifact, dataset
+
+
+def _tiny_hypergraph_dataset():
+    n = 10
+    numerical = np.stack(
+        [np.linspace(0.0, 2.0, n), (np.arange(n) % 2).astype(np.float64)],
+        axis=1,
+    )
+    categorical = np.stack(
+        [np.arange(n) % 3, np.arange(n) % 2], axis=1
+    ).astype(np.int64)
+    y = ((np.arange(n) % 3) == 0).astype(np.int64)
+    return TabularDataset(numerical, categorical, y, "binary")
+
+
+def make_golden_v2():
+    dataset = _tiny_hypergraph_dataset()
+    config = {
+        "network": "hypergraph_gnn", "hidden_dim": 4, "out_dim": 2,
+        "n_bins": 3, "num_layers": 2, "task": "binary",
+    }
+    fitted = HypergraphFormulation().fit(dataset, None, config)
+    model = fitted.build_model(np.random.default_rng(0))
+    state_dict = _freeze_weights(model)
+    arrays, meta = fitted.artifact_payload()
+    artifact = ModelArtifact(
+        formulation="hypergraph",
+        network=fitted.model_builder,
+        config=config,
+        state_dict=state_dict,
+        preprocessor=fitted.preprocessor,
+        payload_arrays=arrays,
+        payload_meta=meta,
+    )
+    artifact.save(HERE / "golden_v2")
+    return artifact, dataset
+
+
+def main():
+    v1_artifact, v1_dataset = make_golden_v1()
+    v2_artifact, v2_dataset = make_golden_v2()
+    v1_rows = (v1_dataset.numerical[:4], v1_dataset.categorical[:4])
+    v2_rows = (v2_dataset.numerical[:4], v2_dataset.categorical[:4])
+    np.savez(
+        HERE / "golden_expected.npz",
+        v1_numerical=v1_rows[0],
+        v1_categorical=v1_rows[1],
+        v1_probs=InferenceEngine(v1_artifact, cache_size=0).predict_batch(*v1_rows),
+        v2_numerical=v2_rows[0],
+        v2_categorical=v2_rows[1],
+        v2_probs=InferenceEngine(v2_artifact, cache_size=0).predict_batch(*v2_rows),
+    )
+    for name in ("golden_v1", "golden_v2", "golden_expected"):
+        for suffix in (".npz", ".json"):
+            p = HERE / (name + suffix)
+            if p.exists():
+                print(f"wrote {p} ({p.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Cross-formulation parity & serving matrix (seeded randomized fuzz).
+
+The formulation × serving matrix is closed: every formulation registered
+as servable must export → reload → serve, and the served probabilities
+must match that formulation's oracle to 1e-8 —
+
+* the **full-graph oracle** (``incremental=False``) where one exists
+  (instance rebuilds the induced pool+queries graph, hypergraph appends
+  query columns to the incidence, feature re-scores directly);
+* the **transductive forward** where vocabulary lookup *is* the serve
+  path (multiplex/hetero raise on ``incremental=False``), in which case
+  served training rows must reproduce the training logits exactly.
+
+The matrix is built from the live registry at collection time, so a
+formulation registered later is fuzzed automatically with zero edits
+here.  Rows are drawn from a seeded RNG: training rows (parity),
+perturbed numericals and randomly-missing cells (validity), and a
+never-seen categorical code for every formulation whose scorer keeps a
+value vocabulary (detected by its ``unk_values`` counter, not by name).
+"""
+
+import numpy as np
+import pytest
+
+from repro import formulations
+from repro.datasets import make_fraud
+from repro.pipeline import run_pipeline
+from repro.serving import InferenceEngine, ModelArtifact
+from repro.tensor.ops import softmax_rows
+
+SEED = 20260729
+#: instance is the only formulation with a free network axis (one family
+#: per conv substrate); every other formulation carries its architecture.
+INSTANCE_NETWORKS = ("gcn", "gat", "gated")
+
+
+def _matrix():
+    cells = []
+    for form in formulations.servable():
+        if form == "instance":
+            cells.extend((form, network) for network in INSTANCE_NETWORKS)
+        else:
+            cells.append((form, "default"))
+    return cells
+
+
+MATRIX = _matrix()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # Small n keeps every multiplex same-value group under the degree cap
+    # (capped_groups == 0), the regime where value-node serving is exact.
+    return make_fraud(n=140, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    cache = {}
+
+    def get(form, network):
+        key = (form, network)
+        if key not in cache:
+            kwargs = {} if network == "default" else {"network": network}
+            cache[key] = run_pipeline(
+                dataset, formulation=form, max_epochs=5, seed=0, **kwargs
+            )
+        return cache[key]
+
+    return get
+
+
+def _cell_rng(form, network):
+    # Deterministic per-cell stream that doesn't depend on matrix order.
+    return np.random.default_rng(
+        [SEED, sum(map(ord, form)), sum(map(ord, network))]
+    )
+
+
+def _oracle_engine(artifact):
+    """The formulation's full-graph oracle, or ``None`` if the serve path
+    is its own oracle (vocabulary-lookup formulations reject the flag)."""
+    try:
+        return InferenceEngine(artifact, cache_size=0, incremental=False)
+    except ValueError:
+        return None
+
+
+def test_matrix_covers_every_servable_formulation():
+    assert {form for form, _ in MATRIX} == set(formulations.servable())
+    assert len(MATRIX) >= len(formulations.servable())
+
+
+@pytest.mark.parametrize(("form", "network"), MATRIX)
+def test_export_reload_serve_matches_oracle(form, network, tmp_path, dataset, trained):
+    result = trained(form, network)
+    artifact = result.export_artifact()
+    loaded = ModelArtifact.load(artifact.save(tmp_path / f"{form}-{network}"))
+    assert loaded.formulation == form
+    engine = InferenceEngine(loaded, cache_size=0)
+
+    rng = _cell_rng(form, network)
+    idx = rng.choice(dataset.num_instances, size=16, replace=False)
+    served = engine.predict_batch(dataset.numerical[idx], dataset.categorical[idx])
+    assert np.isfinite(served).all()
+    np.testing.assert_allclose(served.sum(axis=1), 1.0, atol=1e-10)
+
+    oracle = _oracle_engine(loaded)
+    if oracle is not None:
+        expected = oracle.predict_batch(
+            dataset.numerical[idx], dataset.categorical[idx]
+        )
+    else:
+        # No full-graph path: the transductive forward is the oracle, and
+        # value-node serving must reproduce it exactly on training rows.
+        # softmax_rows is what the engine applies to scorer logits, so the
+        # comparison uses the very same probability mapping.
+        expected = softmax_rows(result.state.logits()[idx], axis=1)
+    np.testing.assert_allclose(served, expected, atol=1e-8)
+
+
+@pytest.mark.parametrize(("form", "network"), MATRIX)
+def test_fuzzed_unseen_rows_serve_validly(form, network, dataset, trained):
+    # Seeded fuzz over genuinely unseen traffic: perturbed numericals and
+    # randomly-missing cells must score to finite, normalized probabilities
+    # on the serve path, and on the full-graph oracle where one exists the
+    # two paths must agree to 1e-8 even for these rows.
+    artifact = trained(form, network).export_artifact()
+    engine = InferenceEngine(artifact, cache_size=0)
+    rng = _cell_rng(form, network)
+
+    idx = rng.choice(dataset.num_instances, size=12, replace=False)
+    numerical = dataset.numerical[idx] + rng.normal(
+        0.0, 0.5, (idx.size, dataset.num_numerical)
+    )
+    categorical = dataset.categorical[idx].copy()
+    missing = rng.random(numerical.shape) < 0.25
+    numerical[missing] = np.nan
+    categorical[rng.random(categorical.shape) < 0.25] = -1
+
+    served = engine.predict_batch(numerical, categorical)
+    assert served.shape == (idx.size, dataset.num_classes)
+    assert np.isfinite(served).all()
+    np.testing.assert_allclose(served.sum(axis=1), 1.0, atol=1e-10)
+
+    oracle = _oracle_engine(artifact)
+    if oracle is not None:
+        np.testing.assert_allclose(
+            served, oracle.predict_batch(numerical, categorical), atol=1e-8
+        )
+
+
+def test_hypergraph_round_trip_without_continuous_columns(tmp_path):
+    # Regression: a dataset with no binned numerical columns persists an
+    # *empty* bin_edges array; the artifact must still reload and serve
+    # (reshape(0, -1) on an empty array is ill-defined).
+    from repro.datasets.tabular import TabularDataset
+
+    n = 40
+    categorical = np.stack([np.arange(n) % 3, np.arange(n) % 4], axis=1)
+    dataset = TabularDataset(
+        np.zeros((n, 0)), categorical, (np.arange(n) % 2).astype(np.int64),
+        "binary",
+    )
+    result = run_pipeline(dataset, formulation="hypergraph", max_epochs=2, seed=0)
+    path = result.export_artifact().save(tmp_path / "cat-only")
+    engine = InferenceEngine(ModelArtifact.load(path), cache_size=0)
+    served = engine.predict_batch(dataset.numerical[:4], dataset.categorical[:4])
+    np.testing.assert_allclose(
+        served, softmax_rows(result.state.logits()[:4], axis=1), atol=1e-8
+    )
+
+
+@pytest.mark.parametrize(("form", "network"), MATRIX)
+def test_never_seen_value_serves_through_unk(form, network, dataset, trained):
+    # Every value-node formulation (detected by capability: its scorer
+    # registers an ``unk_values`` counter) must score a never-seen
+    # categorical code without growing state, erroring, or going NaN.
+    artifact = trained(form, network).export_artifact()
+    engine = InferenceEngine(artifact, cache_size=0)
+    if "unk_values" not in engine.stats:
+        pytest.skip(f"{form} keeps no value vocabulary")
+    categorical = dataset.categorical[:5].copy()
+    categorical[:, 0] = 10_000_000
+    probs = engine.predict_batch(dataset.numerical[:5], categorical)
+    assert engine.stats["unk_values"] == 5
+    assert np.isfinite(probs).all()
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-10)

@@ -20,7 +20,7 @@ from repro.pipeline import FORMULATIONS, run_pipeline
 from repro.serving import InferenceEngine, ModelArtifact, PredictionServer
 from repro.serving.artifact import ARTIFACT_SCHEMA_VERSION
 
-SERVABLE = ("instance", "feature", "multiplex", "hetero")
+SERVABLE = ("instance", "feature", "multiplex", "hetero", "hypergraph")
 
 
 def _softmax(logits):
@@ -56,8 +56,11 @@ class TestRegistry:
         assert formulations.available() == FORMULATIONS
 
     def test_servable_is_a_capability_not_a_whitelist(self):
-        assert formulations.servable() == ("instance", "feature", "multiplex", "hetero")
-        assert not formulations.get("hypergraph").servable
+        # The formulation × serving matrix is closed: every registered
+        # formulation exports a deployable artifact.  Servability stays a
+        # per-class capability so plug-ins can still opt out.
+        assert formulations.servable() == FORMULATIONS
+        assert all(formulations.get(name).servable for name in FORMULATIONS)
 
     def test_unknown_formulation_lists_choices(self, dataset):
         with pytest.raises(ValueError, match="instance"):
@@ -110,12 +113,13 @@ class TestServableRoundTrip:
         )
         np.testing.assert_array_equal(before, after)
 
-    @pytest.mark.parametrize("form", ["multiplex", "hetero"])
+    @pytest.mark.parametrize("form", ["multiplex", "hetero", "hypergraph"])
     def test_training_rows_match_transductive_logits(self, form, dataset, results):
         # Value-node serving is exact: a training-table row attaches to the
-        # same frozen value nodes / value groups it occupied in the
-        # training graph, so served probabilities equal the transductive
-        # softmax to float round-off.
+        # same frozen value nodes / value groups (or, for hypergraph, the
+        # same member nodes of its hyperedge) it occupied in the training
+        # graph, so served probabilities equal the transductive softmax to
+        # float round-off.
         result = results[form]
         artifact = result.export_artifact()
         if form == "multiplex":
@@ -148,7 +152,7 @@ class TestServableRoundTrip:
         assert np.isfinite(probs).all()
         np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-10)
 
-    @pytest.mark.parametrize("form", ["multiplex", "hetero"])
+    @pytest.mark.parametrize("form", ["multiplex", "hetero", "hypergraph"])
     def test_unseen_value_hits_unk_bucket(self, form, tmp_path, dataset, results):
         path = results[form].export_artifact().save(tmp_path / form)
         engine = InferenceEngine(ModelArtifact.load(path), cache_size=0)
@@ -165,7 +169,7 @@ class TestServableRoundTrip:
             # The UNK bucket must not silently grow the vocabulary.
             assert [len(v) for v in fitted.vocabularies] == vocab_sizes
 
-    @pytest.mark.parametrize("form", ["multiplex", "hetero"])
+    @pytest.mark.parametrize("form", ["multiplex", "hetero", "hypergraph"])
     def test_missing_categoricals_still_serve(self, form, dataset, results):
         engine = InferenceEngine(results[form].export_artifact(), cache_size=0)
         probs = engine.predict_batch(dataset.numerical[:3])  # no categoricals
@@ -181,12 +185,24 @@ class TestServableRoundTrip:
                 results[form].export_artifact(), cache_size=0, incremental=False
             )
 
-    def test_hypergraph_refuses_export_with_servable_hint(self, dataset):
-        result = run_pipeline(
-            dataset, formulation="hypergraph", max_epochs=2, seed=0
+    def test_hypergraph_incremental_matches_full_graph_oracle(
+        self, dataset, results
+    ):
+        # Unlike multiplex/hetero, hypergraph keeps a full-graph oracle
+        # (queries appended as incidence columns, scored via the model's
+        # ordinary spmm forward); the cached-node-state incremental path
+        # must agree with it on genuinely unseen rows too.
+        artifact = results["hypergraph"].export_artifact()
+        rng = np.random.default_rng(7)
+        numerical = dataset.numerical[:12] + rng.normal(0, 0.3, (12, dataset.num_numerical))
+        categorical = dataset.categorical[:12]
+        inc = InferenceEngine(artifact, cache_size=0).predict_batch(
+            numerical, categorical
         )
-        with pytest.raises(NotImplementedError, match="multiplex"):
-            result.export_artifact()
+        oracle = InferenceEngine(
+            artifact, cache_size=0, incremental=False
+        ).predict_batch(numerical, categorical)
+        np.testing.assert_allclose(inc, oracle, atol=1e-8)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,153 @@
+"""HTTP error-path tests for :class:`~repro.serving.PredictionServer`.
+
+A public prediction endpoint sees garbage: malformed JSON, rows with the
+wrong arity, unknown routes, oversized bodies.  Each must come back as a
+*structured* 4xx JSON error — never a 500, never a dead server — and the
+server must keep answering healthy requests afterwards.  The suite runs
+over a real socket (ephemeral port) against a hypergraph artifact, which
+also pins the ``/healthz`` contract for the newly-servable formulation.
+"""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_fraud
+from repro.formulations import HypergraphFormulation
+from repro.serving import ModelArtifact, PredictionServer
+from repro.serving.artifact import ARTIFACT_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_fraud(n=60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def artifact(dataset):
+    # Untrained weights: HTTP semantics don't depend on model quality.
+    config = {
+        "network": "hypergraph_gnn", "hidden_dim": 8, "out_dim": 2,
+        "num_layers": 2, "task": dataset.task,
+    }
+    fitted = HypergraphFormulation().fit(dataset, None, config)
+    model = fitted.build_model(np.random.default_rng(0))
+    arrays, meta = fitted.artifact_payload()
+    return ModelArtifact(
+        formulation="hypergraph",
+        network=fitted.model_builder,
+        config=config,
+        state_dict=model.state_dict(),
+        preprocessor=fitted.preprocessor,
+        payload_arrays=arrays,
+        payload_meta=meta,
+    )
+
+
+@pytest.fixture(scope="module")
+def server(artifact):
+    with PredictionServer(artifact, port=0, max_body_bytes=4096) as srv:
+        yield srv
+
+
+def _request(server, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode())
+        return response.status, payload
+    finally:
+        conn.close()
+
+
+def _good_row(dataset):
+    return {
+        "numerical": dataset.numerical[0].tolist(),
+        "categorical": dataset.categorical[0].tolist(),
+    }
+
+
+class TestErrorPaths:
+    def test_malformed_json_returns_400(self, server):
+        status, payload = _request(server, "POST", "/predict", body="{not json")
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_non_object_body_returns_400(self, server):
+        status, payload = _request(server, "POST", "/predict", body="[1, 2, 3]")
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    def test_wrong_numerical_arity_returns_400(self, server, dataset):
+        row = {"numerical": [0.0] * (dataset.num_numerical + 2)}
+        status, payload = _request(server, "POST", "/predict", body=json.dumps(row))
+        assert status == 400
+        assert "numerical columns" in payload["error"]
+
+    def test_wrong_categorical_arity_returns_400(self, server, dataset):
+        row = _good_row(dataset)
+        row["categorical"] = row["categorical"] + [0, 0]
+        status, payload = _request(server, "POST", "/predict", body=json.dumps(row))
+        assert status == 400
+        assert "categorical" in payload["error"]
+
+    def test_missing_numerical_key_returns_400(self, server):
+        status, payload = _request(
+            server, "POST", "/predict", body=json.dumps({"categorical": [1]})
+        )
+        assert status == 400
+        assert "numerical" in payload["error"]
+
+    def test_empty_and_ragged_batches_return_400(self, server, dataset):
+        status, payload = _request(
+            server, "POST", "/predict", body=json.dumps({"rows": []})
+        )
+        assert status == 400 and "non-empty" in payload["error"]
+        ragged = {"rows": [_good_row(dataset), {"numerical": [1.0]}]}
+        status, payload = _request(
+            server, "POST", "/predict", body=json.dumps(ragged)
+        )
+        assert status == 400 and "error" in payload
+
+    def test_unknown_route_returns_404(self, server):
+        for method, path in (("GET", "/nope"), ("POST", "/nope"), ("GET", "/predict/x")):
+            status, payload = _request(server, method, path)
+            assert status == 404
+            assert "unknown path" in payload["error"]
+
+    def test_oversized_body_returns_413_without_reading_it(self, server, dataset):
+        body = json.dumps({
+            "numerical": dataset.numerical[0].tolist(),
+            "padding": "x" * 10_000,  # well past max_body_bytes=4096
+        })
+        status, payload = _request(server, "POST", "/predict", body=body)
+        assert status == 413
+        assert "exceeds" in payload["error"]
+
+    def test_server_survives_the_error_barrage(self, server, dataset):
+        # After every 4xx above the server still answers cleanly.
+        status, payload = _request(
+            server, "POST", "/predict", body=json.dumps(_good_row(dataset))
+        )
+        assert status == 200
+        assert payload["rows"] == 1
+        assert abs(sum(payload["probabilities"][0]) - 1.0) < 1e-6
+
+
+class TestHealthz:
+    def test_healthz_reports_hypergraph_deployment(self, server, dataset):
+        status, health = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["formulation"] == "hypergraph"
+        assert health["network"] == "hypergraph_gnn"
+        assert health["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert health["incremental"] is True
+        assert health["pool_rows"] == dataset.num_instances
+
+    def test_health_alias_route(self, server):
+        status, health = _request(server, "GET", "/health")
+        assert status == 200 and health["formulation"] == "hypergraph"

@@ -144,13 +144,30 @@ class TestArtifactRoundTrip:
             ModelArtifact.load(npz)
 
     def test_unservable_formulation_refuses_export(self):
-        # Hypergraph rows-as-hyperedges state is bound to the training
-        # incidence structure; it is the one formulation without a serving
-        # path (multiplex/hetero gained one via value-node vocabularies).
-        ds = make_fraud(n=120, seed=0)
-        result = run_pipeline(ds, formulation="hypergraph", max_epochs=3, seed=0)
-        with pytest.raises(NotImplementedError, match="hypergraph"):
-            result.export_artifact()
+        # Every built-in formulation now serves; the capability check still
+        # guards plug-ins that declare ``servable = False``.
+        from repro import formulations
+        from repro.formulations.hypergraph import (
+            FittedHypergraph,
+            HypergraphFormulation,
+        )
+
+        class BoundFitted(FittedHypergraph):
+            name = "bound"
+            servable = False
+
+        class BoundFormulation(HypergraphFormulation):
+            name = "bound"
+            fitted_cls = BoundFitted
+
+        formulations.register(BoundFormulation())
+        try:
+            ds = make_fraud(n=120, seed=0)
+            result = run_pipeline(ds, formulation="bound", max_epochs=2, seed=0)
+            with pytest.raises(NotImplementedError, match="bound"):
+                result.export_artifact()
+        finally:
+            formulations.unregister("bound")
 
 
 # ----------------------------------------------------------------------

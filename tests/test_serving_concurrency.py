@@ -1,0 +1,186 @@
+"""Concurrency tests for the serving layer.
+
+The serving stack's threading contract: any number of producer threads may
+hit :class:`MicroBatcher.submit` / :class:`InferenceEngine.predict`
+concurrently, and
+
+* no response is lost, duplicated, or swapped between callers — every
+  submit returns exactly its own row's probabilities;
+* the LRU prediction cache stays consistent under contention and its
+  entries are immutable (caller mutation raises instead of poisoning
+  later hits);
+* the ``stats`` counters account for every row exactly once.
+
+The artifact under test is a small *untrained* instance artifact — latency
+and correctness of the threading machinery do not depend on the weights,
+and skipping training keeps the hammering tight.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.construction.rules import knn_graph
+from repro.datasets import TabularPreprocessor, make_correlated_instances
+from repro.gnn.networks import build_network
+from repro.serving import InferenceEngine, MicroBatcher, ModelArtifact
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    dataset = make_correlated_instances(n=80, seed=0)
+    prep = TabularPreprocessor(mode="onehot").fit(dataset)
+    x = prep.transform_dataset(dataset)
+    graph = knn_graph(x, k=5, metric="euclidean", y=dataset.y)
+    model = build_network(
+        "gcn", graph, 16, dataset.num_classes, np.random.default_rng(0),
+        num_layers=2,
+    )
+    return ModelArtifact(
+        formulation="instance",
+        network="gcn",
+        config={
+            "hidden_dim": 16, "out_dim": dataset.num_classes, "k": 5,
+            "metric": "euclidean", "num_layers": 2, "embed_dim": 8,
+            "task": dataset.task,
+        },
+        state_dict=model.state_dict(),
+        preprocessor=prep,
+        pool_x=np.asarray(graph.x, dtype=np.float64),
+        pool_edge_index=graph.edge_index.astype(np.int64),
+    )
+
+
+@pytest.fixture(scope="module")
+def rows(artifact):
+    rng = np.random.default_rng(42)
+    return rng.normal(0.0, 1.0, (64, artifact.preprocessor.num_numerical_features))
+
+
+@pytest.fixture(scope="module")
+def reference(artifact, rows):
+    """Single-threaded ground truth for every row in the universe."""
+    return InferenceEngine(artifact, cache_size=0).predict_batch(rows)
+
+
+class TestMicroBatcherHammering:
+    def test_no_lost_duplicated_or_swapped_responses(self, artifact, rows, reference):
+        n_threads, per_thread = 16, 24
+        engine = InferenceEngine(artifact, cache_size=0)
+        picks = np.random.default_rng(7).integers(
+            0, rows.shape[0], (n_threads, per_thread)
+        )
+        with MicroBatcher(engine, max_batch_size=32, max_delay_ms=2.0) as batcher:
+            def worker(thread_idx):
+                out = []
+                for row_idx in picks[thread_idx]:
+                    out.append((row_idx, batcher.submit(rows[row_idx])))
+                return out
+
+            with ThreadPoolExecutor(n_threads) as pool:
+                results = list(pool.map(worker, range(n_threads)))
+            stats = dict(batcher.stats)
+
+        total = n_threads * per_thread
+        # Accurate counters: every row accounted for exactly once.
+        assert stats["rows"] == total
+        assert engine.stats["rows"] == total
+        assert 1 <= stats["batches"] <= total
+        assert stats["largest_batch"] <= 32
+        # Every caller got exactly its own row's probabilities back.
+        for thread_results in results:
+            assert len(thread_results) == per_thread
+            for row_idx, probs in thread_results:
+                np.testing.assert_allclose(probs, reference[row_idx], atol=1e-12)
+
+    def test_error_rows_fail_their_caller_only(self, artifact, rows):
+        engine = InferenceEngine(artifact, cache_size=0)
+        with MicroBatcher(engine, max_batch_size=8, max_delay_ms=2.0) as batcher:
+            with pytest.raises(ValueError, match="numerical columns"):
+                batcher.submit(np.zeros(rows.shape[1] + 3))
+            # The batcher (and its consumer thread) survive the bad row.
+            good = batcher.submit(rows[0])
+            assert np.isfinite(good).all()
+
+
+class TestEngineCacheHammering:
+    def test_lru_consistent_under_contention(self, artifact, rows, reference):
+        engine = InferenceEngine(artifact, cache_size=8)
+        n_threads, per_thread = 12, 60
+        picks = np.random.default_rng(11).integers(
+            0, 16, (n_threads, per_thread)  # 16 hot rows >> 8 cache slots
+        )
+        errors = []
+
+        def worker(thread_idx):
+            try:
+                for row_idx in picks[thread_idx]:
+                    probs = engine.predict(rows[row_idx])
+                    np.testing.assert_allclose(
+                        probs, reference[row_idx], atol=1e-12
+                    )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = n_threads * per_thread
+        # Every row was either a cache hit or went through a forward pass.
+        assert engine.stats["rows"] == total
+        assert engine.stats["cache_hits"] + engine.stats["forward_rows"] == total
+        assert engine.stats["cache_hits"] > 0
+        assert len(engine._cache) <= 8
+
+    def test_cache_entries_are_immutable(self, artifact, rows, reference):
+        engine = InferenceEngine(artifact, cache_size=4)
+        probs = engine.predict(rows[0])
+        with pytest.raises(ValueError):
+            probs[0] = 123.0
+        # A second hit returns the uncorrupted entry.
+        again = engine.predict(rows[0])
+        assert engine.stats["cache_hits"] == 1
+        np.testing.assert_allclose(again, reference[0], atol=1e-12)
+
+    def test_mixed_single_and_batch_traffic(self, artifact, rows, reference):
+        engine = InferenceEngine(artifact, cache_size=16)
+        picks = np.random.default_rng(13).integers(0, rows.shape[0], (8, 10))
+        errors = []
+
+        def single(thread_idx):
+            try:
+                for row_idx in picks[thread_idx]:
+                    np.testing.assert_allclose(
+                        engine.predict(rows[row_idx]),
+                        reference[row_idx],
+                        atol=1e-12,
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def batch(thread_idx):
+            try:
+                idx = picks[thread_idx]
+                np.testing.assert_allclose(
+                    engine.predict_batch(rows[idx]), reference[idx], atol=1e-12
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=single if i % 2 else batch, args=(i,))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert engine.stats["rows"] == 8 * 10
