@@ -17,10 +17,17 @@ Three claims are measured on the instance formulation:
   rebuilds the model on the attached incidence) — bar: sub-linear for
   every family (latency growth well below the pool growth factor).
 
+A fourth set of claims covers the observability layer itself: the span +
+histogram instrumentation must cost < 5% of single-row incremental p50
+(measured against an ``observability=False`` engine), and the
+engine-internal request histogram must agree with an external caller-side
+timer within 10% at p50 and p95 — the cross-check that makes ``/metrics``
+latencies trustworthy on their own.
+
 Alongside the human-readable table, results are persisted as
-``benchmarks/results/BENCH_serving.json`` (rows/sec, p50/p95 latency, and
-the pool-scaling curve) so future PRs have a perf trajectory to compare
-against.
+``benchmarks/results/BENCH_serving.json`` (rows/sec, p50/p95 latency, the
+pool-scaling curve, and the observability overhead/agreement numbers) so
+future PRs have a perf trajectory to compare against.
 """
 
 import json
@@ -45,6 +52,7 @@ SWEEP_NETWORKS = ("gcn", "gat", "gated")
 SWEEP_REQUESTS = 24
 ROWS = []
 SWEEP = []
+OBS = {}
 STATE = {}
 
 
@@ -290,6 +298,94 @@ def test_pool_scaling_sweep(benchmark):
         )
 
 
+def test_observability_overhead_and_agreement(benchmark):
+    """Two claims about the instrumentation itself.
+
+    * **Overhead**: the full span + histogram stack (request span, cache /
+      score / encode / attach / propagate / head stages, request-latency
+      observe) costs < 5% of single-row incremental p50 versus an
+      ``observability=False`` engine (plus a small absolute slack for
+      timer noise on sub-millisecond latencies).
+    * **Agreement**: the engine-internal request histogram — fed by its
+      own ``perf_counter`` bracket and answering quantiles from the raw
+      reservoir — matches an external caller-side timer within 10% at p50
+      and p95, so ``/metrics`` latencies can be trusted without a bench
+      harness attached.
+    """
+
+    def run():
+        _setup()
+
+        # A/B interleaved: alternating runs see the same thermal / noisy-
+        # neighbor drift, so the best-of-5 floors are comparable; measuring
+        # one engine's five runs back-to-back lets a slow minute land
+        # entirely on one side and fake (or hide) overhead.
+        engines = {
+            observability: InferenceEngine(
+                STATE["artifact"], cache_size=0, incremental=True,
+                observability=observability,
+            )
+            for observability in (False, True)
+        }
+        runs = {False: [], True: []}
+        for engine in engines.values():
+            _time_single_rows(engine, STATE["rows"][:32])  # warm-up
+        for _ in range(5):
+            for observability, engine in engines.items():
+                rps, lat = _time_single_rows(engine, STATE["rows"])
+                p50, p95 = _percentiles(lat)
+                runs[observability].append((p50, p95, rps))
+        # best-of-5 by p50: least scheduler noise
+        plain_p50, plain_p95, plain_rps = min(runs[False])
+        instrumented_p50, instrumented_p95, instrumented_rps = min(runs[True])
+
+        # Agreement run on a *fresh* instrumented engine: its reservoir
+        # then holds exactly the requests the external timer saw.
+        engine = InferenceEngine(STATE["artifact"], cache_size=0, incremental=True)
+        _, latencies = _time_single_rows(engine, STATE["rows"])
+        external_p50, external_p95 = _percentiles(latencies)
+        hist = engine.registry.get("repro_request_duration_seconds").labels(
+            formulation="instance", endpoint="predict"
+        )
+        internal_p50 = hist.quantile(0.5) * 1000.0
+        internal_p95 = hist.quantile(0.95) * 1000.0
+
+        return {
+            "plain_p50_ms": plain_p50,
+            "plain_p95_ms": plain_p95,
+            "plain_rows_per_sec": plain_rps,
+            "instrumented_p50_ms": instrumented_p50,
+            "instrumented_p95_ms": instrumented_p95,
+            "instrumented_rows_per_sec": instrumented_rps,
+            "overhead_pct": 100.0 * (instrumented_p50 / plain_p50 - 1.0),
+            "external_p50_ms": external_p50,
+            "internal_p50_ms": internal_p50,
+            "external_p95_ms": external_p95,
+            "internal_p95_ms": internal_p95,
+        }
+
+    OBS.update(once(benchmark, run))
+    ROWS.append((
+        "single-row incr (no obs)", 1, OBS["plain_rows_per_sec"],
+        OBS["plain_p50_ms"], OBS["plain_p95_ms"],
+    ))
+    ROWS.append((
+        "single-row incr (instrumented)", 1, OBS["instrumented_rows_per_sec"],
+        OBS["instrumented_p50_ms"], OBS["instrumented_p95_ms"],
+    ))
+    assert OBS["instrumented_p50_ms"] <= OBS["plain_p50_ms"] * 1.05 + 0.02, (
+        f"instrumentation overhead {OBS['overhead_pct']:.1f}% "
+        f"({OBS['plain_p50_ms']:.3f}ms -> {OBS['instrumented_p50_ms']:.3f}ms) "
+        f"blows the 5% budget"
+    )
+    for q in ("p50", "p95"):
+        internal, external = OBS[f"internal_{q}_ms"], OBS[f"external_{q}_ms"]
+        assert abs(internal - external) / external < 0.10, (
+            f"engine-internal {q} {internal:.3f}ms disagrees with external "
+            f"timer {external:.3f}ms by more than 10%"
+        )
+
+
 def test_zzz_render_throughput(benchmark):
     def render():
         single_full = next(r for r in ROWS if r[0] == "single-row full-graph")
@@ -339,6 +435,7 @@ def test_zzz_render_throughput(benchmark):
             "microbatch_speedup": float(batch_speedup),
             "incremental_p50_speedup": float(inc_speedup),
             "pool_scaling": SWEEP,
+            "observability": {k: float(v) for k, v in OBS.items()},
         }
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / "BENCH_serving.json").write_text(

@@ -15,7 +15,9 @@ per-column *value-node vocabularies* that unseen rows attach to by lookup
 3. reload it (as a fresh process would) and score rows the training graph
    never contained — including a transaction from a never-seen device —
    via the Python engine *and* the HTTP server, checking ``/healthz`` for
-   the formulation / schema / inference path.
+   the formulation / schema / inference path;
+4. scrape ``/metrics`` (Prometheus text) and print a snapshot of the
+   engine's request-latency histogram, per-stage spans and drift gauges.
 
 Instance-graph pipelines (any network in the zoo) ride the same API — swap
 ``formulation="instance", network="gat"`` and nothing else changes.
@@ -80,3 +82,16 @@ with tempfile.TemporaryDirectory() as tmp:
                                       ("status", "formulation", "network",
                                        "schema_version", "incremental",
                                        "pool_rows")})
+
+        # 4. Every serving component (HTTP layer, engine, micro-batcher)
+        # reports into one registry, exposed Prometheus-style on /metrics
+        # (in production: `curl localhost:8000/metrics`).
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            metrics = response.read().decode()
+        wanted = ("repro_http_requests_total", "repro_engine_",
+                  "repro_request_duration_seconds_count",
+                  "repro_stage_duration_seconds_count")
+        print("/metrics snapshot:")
+        for line in metrics.splitlines():
+            if line.startswith(wanted):
+                print("   ", line)

@@ -23,6 +23,7 @@ edits to either — implement the protocol, call :func:`register`.
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -30,6 +31,32 @@ import numpy as np
 from repro import nn
 from repro.datasets.preprocessing import TabularPreprocessor
 from repro.datasets.tabular import TabularDataset
+from repro.obs.tracing import NULL_CONTEXT, Tracer
+
+
+def _timed_score(inner):
+    """Wrap a scorer's ``score`` in a ``"score"`` tracing span.
+
+    Applied once per concrete scorer class by
+    :meth:`RowScorer.__init_subclass__`, so *every* formulation — current
+    and future plug-ins — gets its scorer boundary timed for free; the
+    finer stages (encode / attach / propagate) are the formulation's own
+    :meth:`RowScorer.stage` calls nested inside this span.
+    """
+
+    @functools.wraps(inner)
+    def score(self, numerical, categorical):
+        tracer = self._tracer
+        # Stage spans record only inside a sampled request — when the
+        # engine opened a root span on this thread.  Unsampled requests
+        # skip all span machinery (the < 5% overhead budget).
+        if tracer is None or tracer.current() is None:
+            return inner(self, numerical, categorical)
+        with tracer.span("score"):
+            return inner(self, numerical, categorical)
+
+    score._obs_timed = True
+    return score
 
 
 class RowScorer(abc.ABC):
@@ -39,9 +66,40 @@ class RowScorer(abc.ABC):
     against cached pool-side state (as opposed to rebuilding a full graph
     per request).  Scorers receive *validated* raw row arrays (the engine
     runs ``preprocessor.normalize_rows`` first) and return logits.
+
+    Observability: the engine binds its :class:`~repro.obs.Tracer` via
+    :meth:`bind_tracer` after construction; on requests the engine samples
+    for tracing, ``score`` is automatically timed as the ``"score"``
+    stage, and implementations wrap their internal phases in
+    ``with self.stage("encode"): ...`` — a no-op (reusable null context)
+    when no tracer is bound or the request is unsampled, so scorers stay
+    usable without any observability wiring.
     """
 
     incremental: bool = False
+    #: class-level default — unbound scorers trace nothing
+    _tracer: Optional[Tracer] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        fn = cls.__dict__.get("score")
+        if fn is not None and not getattr(fn, "_obs_timed", False):
+            cls.score = _timed_score(fn)
+
+    def bind_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach the engine's tracer; stages recorded from now on."""
+        self._tracer = tracer
+
+    def stage(self, name: str):
+        """Context manager timing one internal stage.
+
+        A reusable no-op when no tracer is bound *or* the current request
+        was not sampled for tracing (no open span on this thread).
+        """
+        tracer = self._tracer
+        if tracer is None or tracer.current() is None:
+            return NULL_CONTEXT
+        return tracer.span(name)
 
     @abc.abstractmethod
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:

@@ -35,9 +35,11 @@ class FeatureScorer(RowScorer):
         self.model = artifact.build_model()
 
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
-        features = self._artifact.preprocessor.transform(numerical, categorical)
-        self.model.eval()
-        return self.model(features).data
+        with self.stage("encode"):
+            features = self._artifact.preprocessor.transform(numerical, categorical)
+        with self.stage("propagate"):
+            self.model.eval()
+            return self.model(features).data
 
 
 class FittedFeature(FittedFormulation):

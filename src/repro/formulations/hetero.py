@@ -60,21 +60,29 @@ class HeteroScorer(RowScorer):
         self._fitted = fitted
         self._stats = stats
         stats.setdefault("unk_values", 0)
+        stats.setdefault("attach_edges", 0)
         self.model = artifact.build_model()
         self.pool_states = self.model.network.pool_states()
 
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
-        features = self._fitted.instance_features(numerical)
-        value_ids: Dict[str, np.ndarray] = {}
-        for spec in self._fitted.specs:
-            ids = spec.encode(numerical, categorical)
-            unknown = ids >= spec.cardinality
-            self._stats["unk_values"] += int(np.count_nonzero(unknown))
-            ids = np.where(unknown, -1, ids)  # UNK bucket: no attach edge
-            value_ids[spec.name] = ids
-        return self.model.network.propagate_queries(
-            features, value_ids, self.pool_states
-        )
+        with self.stage("encode"):
+            features = self._fitted.instance_features(numerical)
+        with self.stage("attach"):
+            value_ids: Dict[str, np.ndarray] = {}
+            unk = attached = 0
+            for spec in self._fitted.specs:
+                ids = spec.encode(numerical, categorical)
+                unknown = ids >= spec.cardinality
+                unk += int(np.count_nonzero(unknown))
+                ids = np.where(unknown, -1, ids)  # UNK bucket: no attach edge
+                attached += int(np.count_nonzero(ids >= 0))
+                value_ids[spec.name] = ids
+            self._stats["unk_values"] += unk
+            self._stats["attach_edges"] += attached
+        with self.stage("propagate"):
+            return self.model.network.propagate_queries(
+                features, value_ids, self.pool_states
+            )
 
 
 class FittedHetero(FittedFormulation):

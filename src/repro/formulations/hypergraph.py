@@ -63,6 +63,7 @@ class HypergraphScorer(RowScorer):
         self._fitted = fitted
         self._stats = stats
         stats.setdefault("unk_values", 0)
+        stats.setdefault("attach_edges", 0)
         self.incremental = True if incremental is None else bool(incremental)
         if self.incremental:
             # One model on the frozen hypergraph, then the precompute step:
@@ -73,13 +74,21 @@ class HypergraphScorer(RowScorer):
             self.node_states = self.model.pool_node_states()
 
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
-        member_ids = self._fitted.spec.encode(numerical, categorical, self._stats)
+        with self.stage("encode"):
+            member_ids = self._fitted.spec.encode(
+                numerical, categorical, self._stats
+            )
+            self._stats["attach_edges"] += int(np.count_nonzero(member_ids >= 0))
         if self.incremental:
-            view = self._fitted.graph.attach_view(member_ids)
-            return self.model.propagate_queries(view, self.node_states)
-        attached = self._fitted.graph.with_hyperedges(member_ids)
-        model = self._artifact.build_model(graph=attached)
-        return model().data[self._fitted.graph.num_hyperedges:]
+            with self.stage("attach"):
+                view = self._fitted.graph.attach_view(member_ids)
+            with self.stage("propagate"):
+                return self.model.propagate_queries(view, self.node_states)
+        with self.stage("attach"):
+            attached = self._fitted.graph.with_hyperedges(member_ids)
+            model = self._artifact.build_model(graph=attached)
+        with self.stage("propagate"):
+            return model().data[self._fitted.graph.num_hyperedges:]
 
 
 class FittedHypergraph(FittedFormulation):

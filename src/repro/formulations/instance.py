@@ -42,6 +42,8 @@ class InstanceScorer(RowScorer):
     ) -> None:
         self._artifact = artifact
         self._graph = fitted.graph
+        self._stats = stats
+        stats.setdefault("attach_edges", 0)
         self._pool_x = np.asarray(fitted.graph.x, dtype=np.float64)
         self._pool_edges = fitted.graph.edge_index.astype(np.int64)
         self._k = min(int(fitted.config["k"]), self._pool_x.shape[0])
@@ -78,18 +80,22 @@ class InstanceScorer(RowScorer):
         return model().data[n_pool:]
 
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
-        features = self._artifact.preprocessor.transform(numerical, categorical)
+        with self.stage("encode"):
+            features = self._artifact.preprocessor.transform(numerical, categorical)
         # Directed pool→query attachment edges: queries aggregate from
         # their retrieved neighbors but leave every pool node's degree
         # (and hence the GNN's normalization over the pool) untouched.
         # Predictions are therefore exactly independent of which other
         # queries share the batch — safe to micro-batch and to memoize.
-        neighbors = self._pool_index.top_k(features, self._k)
-        if self.incremental:
-            return self.model.propagate_queries(
-                features, neighbors, self.pool_hiddens
-            )
-        return self._forward_full(features, neighbors)
+        with self.stage("attach"):
+            neighbors = self._pool_index.top_k(features, self._k)
+            self._stats["attach_edges"] += int(neighbors.size)
+        with self.stage("propagate"):
+            if self.incremental:
+                return self.model.propagate_queries(
+                    features, neighbors, self.pool_hiddens
+                )
+            return self._forward_full(features, neighbors)
 
 
 class FittedInstance(FittedFormulation):

@@ -77,6 +77,7 @@ class MultiplexScorer(RowScorer):
         self._fitted = fitted
         self._stats = stats
         stats.setdefault("unk_values", 0)
+        stats.setdefault("attach_edges", 0)
         self.model = artifact.build_model()
         self.pool_messages = self.model.pool_message_states()
         self._n_pool = fitted.graph.num_nodes
@@ -108,14 +109,18 @@ class MultiplexScorer(RowScorer):
         )
 
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
-        features = self._artifact.preprocessor.transform(numerical, categorical)
-        operators = [
-            self._member_operator(spec.encode(numerical, categorical), vocab)
-            for spec, vocab in zip(self._fitted.specs, self._fitted.vocabularies)
-        ]
-        return self.model.propagate_queries(
-            features, operators, self.pool_messages
-        )
+        with self.stage("encode"):
+            features = self._artifact.preprocessor.transform(numerical, categorical)
+        with self.stage("attach"):
+            operators = [
+                self._member_operator(spec.encode(numerical, categorical), vocab)
+                for spec, vocab in zip(self._fitted.specs, self._fitted.vocabularies)
+            ]
+            self._stats["attach_edges"] += int(sum(op.nnz for op in operators))
+        with self.stage("propagate"):
+            return self.model.propagate_queries(
+                features, operators, self.pool_messages
+            )
 
 
 class FittedMultiplex(FittedFormulation):

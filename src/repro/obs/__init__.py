@@ -1,0 +1,41 @@
+"""``repro.obs`` — metrics and tracing for the serving & training stack.
+
+A dependency-free observability toolkit (stdlib + numpy only):
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` families — thread-safe, labeled, with
+  snapshot-consistent reads and Prometheus text exposition
+  (:meth:`MetricsRegistry.render_prometheus`);
+* :class:`Tracer` / :class:`Span` — per-stage span timing that lands in a
+  labeled stage-latency histogram, with per-thread span trees;
+* :class:`CounterBank` — a dict-compatible facade that migrates legacy
+  ``stats`` dicts onto the registry without breaking their call sites.
+
+Wired through the hot path by :mod:`repro.serving` (``GET /metrics``,
+engine/batcher instrumentation, drift gauges) and available to training
+via ``Trainer(..., registry=...)`` / ``run_pipeline(..., registry=...)``.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    CounterBank,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_CONTEXT, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "CounterBank",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_CONTEXT",
+    "SIZE_BUCKETS",
+    "Span",
+    "Tracer",
+]

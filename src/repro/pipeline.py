@@ -35,6 +35,7 @@ from repro.datasets.preprocessing import TabularPreprocessor, train_val_test_mas
 from repro.datasets.tabular import TabularDataset
 from repro.formulations import FittedFormulation
 from repro.metrics import accuracy, macro_f1
+from repro.obs import MetricsRegistry
 from repro.tensor import Tensor, ops
 from repro.training.tasks import DenoisingAutoencoderTask
 from repro.training.trainer import Trainer
@@ -164,12 +165,18 @@ def run_pipeline(
     train_fraction: float = 0.6,
     val_fraction: float = 0.2,
     seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> PipelineResult:
     """Execute formulation → construction → representation → training.
 
     ``train_fraction`` controls the semi-supervised regime: the graph always
     spans every row, but only that fraction of labels is used for the loss
     (survey Sec. 2.5d) — the rest supply structure only.
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) opts the run into
+    observability: the trainer reports per-epoch loss/val-score/duration
+    metrics into it, and each phase's wall-clock lands in a
+    ``repro_pipeline_phase_seconds{phase=...}`` gauge.
     """
     formulation_impl = formulations.get(formulation)  # raises with choices
     if dataset.task == "regression":
@@ -212,7 +219,8 @@ def run_pipeline(
     if aux_task is not None:
         optimizer_params += list(aux_task.parameters())
     optimizer = nn.Adam(optimizer_params, lr=0.01, weight_decay=5e-4)
-    trainer = Trainer(model, optimizer, max_epochs=max_epochs, patience=30)
+    trainer = Trainer(model, optimizer, max_epochs=max_epochs, patience=30,
+                      registry=registry)
 
     # Balanced class weights keep imbalanced tasks (fraud/anomaly) from
     # collapsing to the majority class.
@@ -237,6 +245,15 @@ def run_pipeline(
     start = time.perf_counter()
     pred = forward().data.argmax(axis=1)
     timings["inference"] = time.perf_counter() - start
+
+    if registry is not None:
+        phase_gauge = registry.gauge(
+            "repro_pipeline_phase_seconds",
+            "Wall-clock seconds spent in each pipeline phase.",
+            labelnames=("phase",),
+        )
+        for phase, seconds in timings.items():
+            phase_gauge.labels(phase=phase).set(seconds)
 
     return PipelineResult(
         formulation=formulation,

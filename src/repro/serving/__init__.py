@@ -21,6 +21,12 @@ request-serving:
 * :mod:`repro.serving.server` — :class:`PredictionServer`, a stdlib-only
   JSON-over-HTTP endpoint (``python -m repro.serving --artifact model.npz``).
 
+Every layer reports into one :class:`repro.obs.MetricsRegistry`:
+``GET /metrics`` exposes request/stage latency histograms, engine
+counters and drift gauges, and batcher queue metrics in Prometheus text
+format; ``GET /healthz`` serves locked, consistent counter snapshots
+(see the *Observability* section of ``ROADMAP.md``).
+
 Quickstart::
 
     from repro.datasets import make_correlated_instances

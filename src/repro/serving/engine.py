@@ -44,14 +44,31 @@ coalescing worthwhile under skewed traffic.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracing import NULL_CONTEXT
 from repro.serving.artifact import ModelArtifact
 from repro.tensor.ops import softmax_rows
+
+#: Engine counter keys, pre-seeded so ``stats`` always carries them in a
+#: stable order (scorers add their own, e.g. ``unk_values``).
+_STAT_KEYS = ("rows", "cache_hits", "forward_passes", "forward_rows")
+
+_STAT_HELP = {
+    "rows": "Rows submitted for scoring.",
+    "cache_hits": "Rows served from the LRU prediction cache.",
+    "forward_passes": "Vectorized scorer forward passes.",
+    "forward_rows": "Distinct rows scored by forward passes.",
+    "unk_values": "Lookups that landed in the UNK bucket.",
+    "attach_edges": "Pool attach edges created for query rows.",
+}
 
 
 class InferenceEngine:
@@ -71,6 +88,22 @@ class InferenceEngine:
         values a formulation cannot honor raise ``ValueError`` (feature
         artifacts have no pool to propagate from; multiplex/hetero have no
         full-graph oracle).
+    registry:
+        A shared :class:`~repro.obs.MetricsRegistry` to report into (the
+        prediction server passes its own so one ``/metrics`` scrape covers
+        server, engine and batcher); ``None`` creates a private one.
+    observability:
+        ``False`` strips every metric/span and no registry exists.  The
+        serving bench uses this to measure instrumentation overhead (kept
+        < 5% of single-row p50).
+    trace_every:
+        Stage-span sampling rate: the first request and every
+        ``trace_every``-th after it are traced through the per-stage
+        spans; the others pay only the (always-on) end-to-end histogram.
+        ``1`` traces everything, ``0`` disables stage tracing.  Sampling
+        is what keeps instrumentation inside the < 5% overhead budget —
+        the request-latency histogram stays exact because it never
+        samples.
 
     Notes
     -----
@@ -78,7 +111,21 @@ class InferenceEngine:
     cached arrays are marked read-only so accidental mutation raises
     instead of corrupting the cache.  The engine is thread-safe: a lock
     serializes scoring, which matches the micro-batcher's single consumer
-    model.
+    model.  All ``stats`` mutations happen while that lock is held, so
+    :meth:`snapshot` (which takes it) returns a view in which related
+    counters are consistent — e.g. ``cache_hits + forward_rows`` always
+    accounts for every single-row predict.
+
+    Observability (when enabled): end-to-end latency lands in the
+    ``repro_request_duration_seconds{formulation,endpoint}`` histogram
+    (every request); sampled requests are traced through the
+    ``cache → score(encode → attach → propagate) → head`` stages
+    (``repro_stage_duration_seconds{formulation,stage}``).  ``stats``
+    stays a plain dict — mutated only under the engine lock, so
+    increments cost the same as before instrumentation — and is exported
+    to the registry through collection-time callbacks
+    (``repro_engine_<key>_total``); drift gauges — UNK-hit rate, cache
+    hit rate, pool-attach fan-out — are derived the same way.
     """
 
     def __init__(
@@ -86,6 +133,9 @@ class InferenceEngine:
         artifact: ModelArtifact,
         cache_size: int = 256,
         incremental: Optional[bool] = None,
+        registry: Optional[MetricsRegistry] = None,
+        observability: bool = True,
+        trace_every: int = 32,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -93,14 +143,119 @@ class InferenceEngine:
         self.cache_size = cache_size
         self._cache: "OrderedDict[Tuple[bytes, bytes], np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
-        self.stats: Dict[str, int] = {
-            "rows": 0,
-            "cache_hits": 0,
-            "forward_passes": 0,
-            "forward_rows": 0,
-        }
+        self.stats: Dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        if observability:
+            self.registry = registry if registry is not None else MetricsRegistry()
+            self._init_observability(trace_every)
+        else:
+            self.registry = None
+            self._tracer = None
+            self._request_hists = {}
+            self._trace_every = 0
         self._scorer = artifact.fitted.make_scorer(artifact, incremental, self.stats)
         self.incremental = bool(self._scorer.incremental)
+        if self._tracer is not None:
+            self._scorer.bind_tracer(self._tracer)
+            # The scorer's __init__ has now setdefault'ed its own keys
+            # (unk_values, attach_edges, …); export the complete set.
+            self._export_stats()
+
+    def _init_observability(self, trace_every: int) -> None:
+        labels = {"formulation": str(self.artifact.formulation)}
+        self._labels = labels
+        self._trace_every = max(0, int(trace_every))
+        self._trace_tick = itertools.count()
+        self._tracer = Tracer(self.registry, const_labels=labels)
+        family = self.registry.histogram(
+            "repro_request_duration_seconds",
+            "End-to-end engine request latency.",
+            labelnames=("formulation", "endpoint"),
+        )
+        self._request_hists = {
+            endpoint: family.labels(endpoint=endpoint, **labels)
+            for endpoint in ("predict", "predict_batch")
+        }
+
+    def _export_stats(self) -> None:
+        """Expose the ``stats`` dict on the registry via callbacks.
+
+        The hot path keeps mutating a plain dict under the engine lock
+        (one dict ``+=`` per counter — the cheapest thing Python offers);
+        the registry reads the live values only at collection time, the
+        same custom-collector idiom real Prometheus clients use for
+        counters owned by existing code.
+        """
+        labels = self._labels
+        stats = self.stats
+        for key in stats:
+            self.registry.counter(
+                f"repro_engine_{key}_total", _STAT_HELP.get(key, ""),
+                labelnames=("formulation",),
+            ).labels(**labels).set_function(lambda k=key: stats[k])
+
+        def _rate(num: str, den: str):
+            def compute() -> float:
+                total = stats.get(den, 0)
+                return stats.get(num, 0) / total if total else 0.0
+            return compute
+
+        # Drift gauges, derived at collection time from the live counters:
+        # UNK-hit rate rising means the frozen vocabulary is aging out of
+        # the traffic; cache-hit rate falling means the hot-row set moved;
+        # attach fan-out is the pool linkage the average query still finds.
+        self.registry.gauge(
+            "repro_engine_unk_rate",
+            "UNK-bucket lookups per scored row (drift signal).",
+            labelnames=("formulation",),
+        ).labels(**labels).set_function(_rate("unk_values", "rows"))
+        self.registry.gauge(
+            "repro_engine_cache_hit_rate",
+            "LRU cache hits per scored row.",
+            labelnames=("formulation",),
+        ).labels(**labels).set_function(_rate("cache_hits", "rows"))
+        self.registry.gauge(
+            "repro_engine_attach_fanout",
+            "Pool attach edges per forward-scored row.",
+            labelnames=("formulation",),
+        ).labels(**labels).set_function(_rate("attach_edges", "forward_rows"))
+        self.registry.gauge(
+            "repro_engine_cache_entries",
+            "Rows currently memoized in the LRU cache.",
+            labelnames=("formulation",),
+        ).labels(**labels).set_function(lambda: len(self._cache))
+
+    # ------------------------------------------------------------------
+    def _root_span(self, name: str):
+        """A sampled request-level span (the first request always traces,
+        then one in every ``trace_every``)."""
+        if self._trace_every and not (
+            next(self._trace_tick) % self._trace_every
+        ):
+            return self._tracer.span(name)
+        return NULL_CONTEXT
+
+    def _span(self, name: str):
+        """A stage span — records only inside a sampled request (i.e.
+        when this thread already has an open span)."""
+        tracer = self._tracer
+        if tracer is None or tracer.current() is None:
+            return NULL_CONTEXT
+        return tracer.span(name)
+
+    def _observe_request(self, endpoint: str, started: float) -> None:
+        hist = self._request_hists.get(endpoint)
+        if hist is not None:
+            hist.observe(time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Locked, consistent copy of the engine counters.
+
+        Taken under the engine lock — the same lock every predict mutates
+        ``stats`` under — so no in-flight request can tear the view
+        (``/healthz`` reads this, never the live dict).
+        """
+        with self._lock:
+            return dict(self.stats)
 
     # ------------------------------------------------------------------
     @property
@@ -122,7 +277,8 @@ class InferenceEngine:
         logits = self._scorer.score(numerical, categorical)
         self.stats["forward_passes"] += 1
         self.stats["forward_rows"] += numerical.shape[0]
-        probs = softmax_rows(logits, axis=1)
+        with self._span("head"):
+            probs = softmax_rows(logits, axis=1)
         # Rows of this array end up in the LRU cache and are returned by
         # reference; freeze them so caller mutation raises instead of
         # corrupting cached entries.
@@ -140,33 +296,42 @@ class InferenceEngine:
         Rows already in the cache are served from it; the remaining
         *distinct* rows share a single vectorized forward pass.
         """
-        numerical, categorical = self._normalize(numerical, categorical)
-        n = numerical.shape[0]
-        out = np.empty((n, self.num_classes))
-        with self._lock:
-            self.stats["rows"] += n
-            keys = [self._key(numerical[i], categorical[i]) for i in range(n)]
-            fresh: "OrderedDict[Tuple[bytes, bytes], int]" = OrderedDict()
-            for i, key in enumerate(keys):
-                if self.cache_size and key in self._cache:
-                    self._cache.move_to_end(key)
-                    out[i] = self._cache[key]
-                    self.stats["cache_hits"] += 1
-                elif key not in fresh:
-                    fresh[key] = i
-            if fresh:
-                rows = list(fresh.values())
-                probs = self._forward(numerical[rows], categorical[rows])
-                for local, key in enumerate(fresh):
-                    if self.cache_size:
-                        self._cache[key] = probs[local]
-                        self._cache.move_to_end(key)
-                fresh_probs = dict(zip(fresh, probs))
-                for i, key in enumerate(keys):
-                    if key in fresh_probs:
-                        out[i] = fresh_probs[key]
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+        started = time.perf_counter()
+        with self._root_span("predict_batch"):
+            numerical, categorical = self._normalize(numerical, categorical)
+            n = numerical.shape[0]
+            out = np.empty((n, self.num_classes))
+            with self._lock:
+                self.stats["rows"] += n
+                with self._span("cache"):
+                    keys = [
+                        self._key(numerical[i], categorical[i]) for i in range(n)
+                    ]
+                    fresh: "OrderedDict[Tuple[bytes, bytes], int]" = OrderedDict()
+                    hits = 0
+                    for i, key in enumerate(keys):
+                        if self.cache_size and key in self._cache:
+                            self._cache.move_to_end(key)
+                            out[i] = self._cache[key]
+                            hits += 1
+                        elif key not in fresh:
+                            fresh[key] = i
+                    if hits:
+                        self.stats["cache_hits"] += hits
+                if fresh:
+                    rows = list(fresh.values())
+                    probs = self._forward(numerical[rows], categorical[rows])
+                    for local, key in enumerate(fresh):
+                        if self.cache_size:
+                            self._cache[key] = probs[local]
+                            self._cache.move_to_end(key)
+                    fresh_probs = dict(zip(fresh, probs))
+                    for i, key in enumerate(keys):
+                        if key in fresh_probs:
+                            out[i] = fresh_probs[key]
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+        self._observe_request("predict_batch", started)
         return out
 
     def predict(
@@ -179,21 +344,27 @@ class InferenceEngine:
         A cache hit returns the stored (read-only) array itself — no
         forward pass.
         """
-        numerical, categorical = self._normalize(numerical, categorical)
-        if numerical.shape[0] != 1:
-            raise ValueError("predict scores one row; use predict_batch")
-        key = self._key(numerical[0], categorical[0])
-        with self._lock:
-            self.stats["rows"] += 1
-            if self.cache_size and key in self._cache:
-                self._cache.move_to_end(key)
-                self.stats["cache_hits"] += 1
-                return self._cache[key]
-            probs = self._forward(numerical, categorical)[0]
-            if self.cache_size:
-                self._cache[key] = probs
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+        started = time.perf_counter()
+        with self._root_span("predict"):
+            numerical, categorical = self._normalize(numerical, categorical)
+            if numerical.shape[0] != 1:
+                raise ValueError("predict scores one row; use predict_batch")
+            key = self._key(numerical[0], categorical[0])
+            with self._lock:
+                self.stats["rows"] += 1
+                with self._span("cache"):
+                    hit = self.cache_size and key in self._cache
+                if hit:
+                    self._cache.move_to_end(key)
+                    self.stats["cache_hits"] += 1
+                    probs = self._cache[key]
+                else:
+                    probs = self._forward(numerical, categorical)[0]
+                    if self.cache_size:
+                        self._cache[key] = probs
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+        self._observe_request("predict", started)
         return probs
 
     def predict_labels(

@@ -4,6 +4,9 @@
 console script) loads a :class:`~repro.serving.ModelArtifact` and exposes:
 
 * ``GET /healthz`` — liveness + artifact summary + engine/batcher stats;
+* ``GET /metrics`` — Prometheus text exposition for the whole deployment
+  (one shared :class:`~repro.obs.MetricsRegistry` covers HTTP, engine,
+  batcher: request/stage latency histograms, cache/UNK/batch gauges);
 * ``POST /predict`` — score rows.  The body is either one row::
 
       {"numerical": [0.1, 2.3], "categorical": [4, 0]}
@@ -17,6 +20,11 @@ console script) loads a :class:`~repro.serving.ModelArtifact` and exposes:
   already vectorized).  The response carries per-row class probabilities
   and argmax predictions.
 
+Every request can be access-logged as one structured JSON line (method,
+path, status, latency_ms, rows) on the ``repro.serving.access`` logger —
+enabled by ``access_log=True`` / the CLI's ``--log-level info``, and off
+by default so embedded/test servers stay quiet.
+
 Built on :class:`http.server.ThreadingHTTPServer` so each in-flight request
 occupies one handler thread — exactly the producer model the
 micro-batcher coalesces across.
@@ -26,15 +34,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
 from repro.serving.artifact import ModelArtifact
 from repro.serving.batching import MicroBatcher
 from repro.serving.engine import InferenceEngine
+
+#: structured JSON access-log lines go here; the CLI attaches a stderr
+#: handler, embedded users attach their own (or leave it unhandled).
+access_logger = logging.getLogger("repro.serving.access")
 
 
 class _BadRequest(ValueError):
@@ -80,36 +95,101 @@ class PredictionServer:
         max_delay_ms: float = 2.0,
         cache_size: int = 256,
         max_body_bytes: int = 1 << 20,
+        access_log: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         self.artifact = artifact
         self.max_body_bytes = int(max_body_bytes)
-        self.engine = InferenceEngine(artifact, cache_size=cache_size)
+        self.access_log = bool(access_log)
+        #: one registry for the whole deployment: HTTP, engine and batcher
+        #: metrics all land here, so ``GET /metrics`` is a single scrape.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.engine = InferenceEngine(
+            artifact, cache_size=cache_size, registry=self.registry
+        )
         self.batcher = MicroBatcher(
-            self.engine, max_batch_size=max_batch_size, max_delay_ms=max_delay_ms
+            self.engine, max_batch_size=max_batch_size, max_delay_ms=max_delay_ms,
+            registry=self.registry,
+        )
+        self._http_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests by method, route and status.",
+            labelnames=("method", "path", "status"),
+        )
+        self._http_duration = self.registry.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request handling latency by route.",
+            labelnames=("path",),
+        )
+        self._rejected_oversize = self.registry.counter(
+            "repro_http_rejected_oversize_total",
+            "Requests refused with HTTP 413 (body over max_body_bytes).",
         )
         server = self  # captured by the handler class below
 
         class Handler(BaseHTTPRequestHandler):
-            def log_message(self, fmt, *args):  # keep request logs quiet
+            def log_message(self, fmt, *args):
+                # BaseHTTPRequestHandler's stderr chatter is replaced by the
+                # structured JSON access log emitted in _finish().
                 pass
 
-            def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+            def _send_json(
+                self, status: int, payload: Dict[str, object]
+            ) -> None:
                 body = json.dumps(payload).encode()
+                self._status = status
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _send_text(self, status: int, body: str, content_type: str) -> None:
+                data = body.encode()
+                self._status = status
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _finish(self, method: str, started: float) -> None:
+                server._record_request(
+                    method,
+                    self.path,
+                    getattr(self, "_status", 0),
+                    time.perf_counter() - started,
+                    getattr(self, "_rows", 0),
+                )
+
             def do_GET(self) -> None:
-                if self.path in ("/healthz", "/health"):
-                    self._send_json(200, server.health())
-                else:
-                    self._send_json(404, {"error": f"unknown path {self.path}"})
+                started = time.perf_counter()
+                try:
+                    if self.path in ("/healthz", "/health"):
+                        self._send_json(200, server.health())
+                    elif self.path == "/metrics":
+                        self._send_text(
+                            200,
+                            server.metrics_text(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    else:
+                        self._send_json(
+                            404, {"error": f"unknown path {self.path}"}
+                        )
+                finally:
+                    self._finish("GET", started)
 
             def do_POST(self) -> None:
+                started = time.perf_counter()
+                try:
+                    self._do_post()
+                finally:
+                    self._finish("POST", started)
+
+            def _do_post(self) -> None:
                 if self.path != "/predict":
                     self._send_json(404, {"error": f"unknown path {self.path}"})
                     return
@@ -147,7 +227,9 @@ class PredictionServer:
                         payload = json.loads(self.rfile.read(length) or b"{}")
                     except json.JSONDecodeError as exc:
                         raise _BadRequest(f"invalid JSON body: {exc}") from exc
-                    self._send_json(200, server.predict(payload))
+                    response = server.predict(payload)
+                    self._rows = int(response.get("rows", 0))
+                    self._send_json(200, response)
                 except _BadRequest as exc:
                     self._send_json(400, {"error": str(exc)})
                 except Exception as exc:  # pragma: no cover - defensive
@@ -172,6 +254,33 @@ class PredictionServer:
         return f"http://{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
+    #: known routes; anything else is grouped to keep label cardinality
+    #: bounded against URL-scanning traffic.
+    _ROUTES = ("/predict", "/healthz", "/health", "/metrics")
+
+    def _record_request(
+        self, method: str, path: str, status: int, duration: float, rows: int
+    ) -> None:
+        route = path if path in self._ROUTES else "other"
+        self._http_requests.labels(
+            method=method, path=route, status=str(status)
+        ).inc()
+        self._http_duration.labels(path=route).observe(duration)
+        if status == 413:
+            self._rejected_oversize.inc()
+        if self.access_log:
+            access_logger.info(json.dumps({
+                "method": method,
+                "path": path,
+                "status": int(status),
+                "latency_ms": round(duration * 1000.0, 3),
+                "rows": int(rows),
+            }, sort_keys=True))
+
+    def metrics_text(self) -> str:
+        """The deployment's registry in Prometheus text exposition."""
+        return self.registry.render_prometheus()
+
     def health(self) -> Dict[str, object]:
         """Liveness plus which inference path this deployment runs.
 
@@ -179,7 +288,9 @@ class PredictionServer:
         ``pool_rows`` are surfaced at the top level so operators can verify
         what a deployment serves — which formulation and artifact schema,
         and whether requests ride a cached-pool incremental path — without
-        digging through the artifact summary.
+        digging through the artifact summary.  Engine and batcher stats are
+        *locked snapshots* (consistent under concurrent predicts), not
+        reads of the live dicts.
         """
         return {
             "status": "ok",
@@ -189,8 +300,11 @@ class PredictionServer:
             "incremental": bool(self.engine.incremental),
             "pool_rows": self.artifact.pool_rows,
             "artifact": self.artifact.summary(),
-            "engine": dict(self.engine.stats),
-            "batcher": dict(self.batcher.stats),
+            "engine": self.engine.snapshot(),
+            "batcher": self.batcher.snapshot(),
+            "server": {
+                "rejected_oversize": self._rejected_oversize.value,
+            },
         }
 
     def predict(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -280,12 +394,22 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--max-body-bytes", type=int, default=1 << 20,
                         help="reject request bodies larger than this (HTTP 413)")
+    parser.add_argument("--log-level", choices=("info", "quiet"), default="info",
+                        help="info: one structured JSON access-log line per "
+                             "request on stderr; quiet: no request logging")
     args = parser.parse_args(argv)
 
     try:
         artifact = ModelArtifact.load(args.artifact)
     except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
+    access_log = args.log_level != "quiet"
+    if access_log and not access_logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access_logger.addHandler(handler)
+        access_logger.setLevel(logging.INFO)
+        access_logger.propagate = False
     server = PredictionServer(
         artifact,
         host=args.host,
@@ -294,9 +418,11 @@ def main(argv=None) -> int:
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
         max_body_bytes=args.max_body_bytes,
+        access_log=access_log,
     )
     summary = ", ".join(f"{k}={v}" for k, v in artifact.summary().items())
     print(f"serving {summary}")
-    print(f"listening on {server.url}  (POST /predict, GET /healthz)")
+    print(f"listening on {server.url}  "
+          f"(POST /predict, GET /healthz, GET /metrics)")
     server.serve_forever()
     return 0

@@ -5,16 +5,23 @@ closure (which runs the forward pass, including any auxiliary tasks) and an
 optional validation-score closure.  This keeps one trainer serving every
 model family in the library — sparse GNNs, dense structure learners,
 bipartite imputers and plain MLPs alike.
+
+When a :class:`~repro.obs.MetricsRegistry` is supplied, :meth:`Trainer.fit`
+reports per-epoch progress into it — epoch counter, epoch-duration
+histogram, and live loss / val-score / best-score gauges — so a pipeline
+run scraped mid-training shows where the optimizer stands.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro import nn
+from repro.obs import MetricsRegistry
 from repro.tensor import Tensor
 
 
@@ -48,6 +55,10 @@ class Trainer:
         ``None`` disables early stopping.
     grad_clip:
         Optional global gradient-norm clip.
+    registry:
+        Optional metrics registry; when set, :meth:`fit` records per-epoch
+        loss/val-score gauges, an epoch counter, and an epoch-duration
+        histogram under the ``repro_train_*`` prefix.
     """
 
     def __init__(
@@ -58,6 +69,7 @@ class Trainer:
         patience: Optional[int] = 30,
         grad_clip: Optional[float] = None,
         restore_best: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_epochs < 1:
             raise ValueError("max_epochs must be >= 1")
@@ -67,6 +79,7 @@ class Trainer:
         self.patience = patience
         self.grad_clip = grad_clip
         self.restore_best = restore_best
+        self.registry = registry
 
     def fit(
         self,
@@ -87,7 +100,30 @@ class Trainer:
         bad_epochs = 0
         epoch = 0
 
+        epochs_total = loss_gauge = score_gauge = best_gauge = None
+        epoch_seconds = None
+        if self.registry is not None:
+            epochs_total = self.registry.counter(
+                "repro_train_epochs_total", "Optimizer epochs completed."
+            )
+            epoch_seconds = self.registry.histogram(
+                "repro_train_epoch_duration_seconds",
+                "Wall-clock seconds per training epoch.",
+            )
+            loss_gauge = self.registry.gauge(
+                "repro_train_loss", "Training loss of the most recent epoch."
+            )
+            score_gauge = self.registry.gauge(
+                "repro_train_val_score",
+                "Validation score (higher is better) of the most recent epoch.",
+            )
+            best_gauge = self.registry.gauge(
+                "repro_train_best_val_score",
+                "Best validation score observed so far.",
+            )
+
         for epoch in range(1, self.max_epochs + 1):
+            epoch_started = time.perf_counter()
             self.model.train()
             loss = loss_fn()
             self.optimizer.zero_grad()
@@ -106,6 +142,13 @@ class Trainer:
             else:
                 score = -loss_value
             history["val_score"].append(score)
+
+            if epochs_total is not None:
+                epochs_total.inc()
+                epoch_seconds.observe(time.perf_counter() - epoch_started)
+                loss_gauge.set(loss_value)
+                score_gauge.set(score)
+                best_gauge.set(max(best_score, score))
 
             if score > best_score:
                 best_score = score

@@ -172,6 +172,50 @@ def test_hypergraph_round_trip_without_continuous_columns(tmp_path):
 
 
 @pytest.mark.parametrize(("form", "network"), MATRIX)
+def test_every_formulation_exposes_stage_metrics(form, network, dataset, trained):
+    # The observability contract is formulation-agnostic: any servable
+    # artifact's engine exposes per-stage latency histograms (the score
+    # span plus the encode/propagate stages every scorer marks), the
+    # request-latency histogram, and the drift gauges — all under its own
+    # ``formulation`` label.
+    artifact = trained(form, network).export_artifact()
+    engine = InferenceEngine(artifact)
+    engine.predict(dataset.numerical[0], dataset.categorical[0])
+    engine.predict_batch(dataset.numerical[:6], dataset.categorical[:6])
+
+    text = engine.registry.render_prometheus()
+
+    def count_of(line_prefix):
+        matches = [
+            line for line in text.splitlines()
+            if line.startswith(line_prefix)
+        ]
+        assert len(matches) == 1, line_prefix
+        return float(matches[0].rsplit(" ", 1)[1])
+
+    for endpoint, expected in (("predict", 1), ("predict_batch", 1)):
+        assert count_of(
+            f'repro_request_duration_seconds_count'
+            f'{{formulation="{form}",endpoint="{endpoint}"}}'
+        ) == expected
+    for stage in ("cache", "score", "encode", "propagate", "head"):
+        assert count_of(
+            f'repro_stage_duration_seconds_count'
+            f'{{formulation="{form}",stage="{stage}"}}'
+        ) >= 1, stage
+    for gauge in (
+        "repro_engine_unk_rate", "repro_engine_cache_hit_rate",
+        "repro_engine_attach_fanout", "repro_engine_cache_entries",
+    ):
+        assert f'{gauge}{{formulation="{form}"}}' in text, gauge
+    # The internal request histogram's quantiles are real numbers the
+    # bench can cross-check against an external timer.
+    hist = engine.registry.get("repro_request_duration_seconds")
+    p50 = hist.labels(formulation=form, endpoint="predict_batch").quantile(0.5)
+    assert np.isfinite(p50) and p50 > 0
+
+
+@pytest.mark.parametrize(("form", "network"), MATRIX)
 def test_never_seen_value_serves_through_unk(form, network, dataset, trained):
     # Every value-node formulation (detected by capability: its scorer
     # registers an ``unk_values`` counter) must score a never-seen

@@ -1,0 +1,337 @@
+"""Unit tests for :mod:`repro.obs` — registry, counter bank, tracer.
+
+The observability layer underpins ``/metrics`` and every serving stat, so
+its arithmetic must be exact: histogram bucket boundaries are inclusive
+upper bounds, exposition counts are cumulative, quantiles come from the
+raw-observation reservoir, snapshots never lose concurrent increments,
+and spans nest into the tree the instrumented code actually executed.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    SIZE_BUCKETS,
+    CounterBank,
+    MetricsRegistry,
+    NULL_CONTEXT,
+    Tracer,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestHistogramMath:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self, registry):
+        hist = registry.histogram("h", "", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 99.0):
+            hist.observe(value)
+        counts = hist.bucket_counts()
+        # Cumulative: le=1 sees {0.5, 1.0}; le=2 adds {1.5, 2.0}; le=5
+        # adds {4.9, 5.0}; +Inf adds the outlier.
+        assert list(counts.items()) == [
+            (1.0, 2), (2.0, 4), (5.0, 6), (float("inf"), 7),
+        ]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 99.0)
+
+    def test_quantile_uses_raw_reservoir_not_bucket_interpolation(self, registry):
+        hist = registry.histogram("h", "", buckets=(10.0,))  # one giant bucket
+        for value in range(1, 101):
+            hist.observe(value / 1000.0)
+        # Bucket interpolation could only answer "somewhere <= 10"; the
+        # reservoir answers with the actual median of the observations.
+        assert hist.quantile(0.5) == pytest.approx(0.0505, abs=1e-9)
+        assert hist.quantile(0.0) == pytest.approx(0.001)
+        assert hist.quantile(1.0) == pytest.approx(0.1)
+
+    def test_quantile_on_empty_histogram_is_nan(self, registry):
+        hist = registry.histogram("h", "")
+        assert np.isnan(hist.quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_reservoir_is_a_ring_keeping_recent_observations(self, registry):
+        hist = registry.histogram("h", "", reservoir_size=8)
+        for _ in range(100):
+            hist.observe(1000.0)  # stale burst
+        for _ in range(8):
+            hist.observe(1.0)  # recent regime overwrites the ring
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert hist.count == 108  # bucket counts still see everything
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad", "", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("dup", "", buckets=(1.0, 1.0))
+
+
+class TestRegistrySemantics:
+    def test_counter_refuses_to_decrease(self, registry):
+        counter = registry.counter("c_total", "")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_gauge_callback_evaluated_at_collection_time(self, registry):
+        state = {"depth": 0}
+        registry.gauge("depth", "").set_function(lambda: state["depth"])
+        state["depth"] = 7
+        snap = registry.snapshot()
+        assert snap["depth"]["values"][0]["value"] == 7.0
+
+    def test_gauge_callback_exception_becomes_nan_not_a_crash(self, registry):
+        registry.gauge("boom", "").set_function(lambda: 1 / 0)
+        value = registry.snapshot()["boom"]["values"][0]["value"]
+        assert np.isnan(value)
+        assert "boom NaN" in registry.render_prometheus().replace("nan", "NaN")
+
+    def test_get_or_create_is_idempotent_but_kind_mismatch_raises(self, registry):
+        first = registry.counter("x_total", "")
+        assert registry.counter("x_total", "") is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total", "")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", "", labelnames=("a",))
+
+    def test_invalid_metric_names_rejected(self, registry):
+        for bad in ("", "has space", "dash-name", 'quote"'):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad, "")
+
+    def test_labeled_children_are_cached_per_label_values(self, registry):
+        family = registry.counter("req_total", "", labelnames=("path",))
+        a = family.labels(path="/predict")
+        assert family.labels(path="/predict") is a
+        assert family.labels(path="/healthz") is not a
+        with pytest.raises(ValueError, match="expected labels"):
+            family.labels(route="/predict")
+        with pytest.raises(ValueError, match="call .labels"):
+            family.inc()  # label-less pass-through on a labeled family
+
+
+class TestPrometheusRendering:
+    def test_golden_exposition_text(self, registry):
+        requests = registry.counter(
+            "repro_requests_total", "Requests served.", labelnames=("path",)
+        )
+        requests.labels(path="/predict").inc(3)
+        registry.gauge("repro_queue_depth", "Queue depth.").set(2)
+        hist = registry.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert registry.render_prometheus() == (
+            "# HELP repro_requests_total Requests served.\n"
+            "# TYPE repro_requests_total counter\n"
+            'repro_requests_total{path="/predict"} 3\n'
+            "# HELP repro_queue_depth Queue depth.\n"
+            "# TYPE repro_queue_depth gauge\n"
+            "repro_queue_depth 2\n"
+            "# HELP repro_latency_seconds Latency.\n"
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="0.1"} 1\n'
+            'repro_latency_seconds_bucket{le="1"} 2\n'
+            'repro_latency_seconds_bucket{le="+Inf"} 3\n'
+            "repro_latency_seconds_sum 5.55\n"
+            "repro_latency_seconds_count 3\n"
+        )
+
+    def test_label_values_are_escaped(self, registry):
+        family = registry.counter("c_total", "", labelnames=("v",))
+        family.labels(v='a"b\\c\nd').inc()
+        assert r'c_total{v="a\"b\\c\nd"} 1' in registry.render_prometheus()
+
+    def test_integers_render_without_trailing_point_zero(self, registry):
+        registry.gauge("g", "").set(42.0)
+        registry.gauge("g2", "").set(0.25)
+        text = registry.render_prometheus()
+        assert "g 42\n" in text and "g2 0.25" in text
+
+
+class TestConcurrency:
+    def test_no_increment_lost_under_thread_hammering(self, registry):
+        counter = registry.counter("hits_total", "")
+        hist = registry.histogram("lat", "", buckets=SIZE_BUCKETS)
+        n_threads, per_thread = 16, 500
+
+        def worker():
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe(float(i % 7))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert counter.value == total
+        assert hist.count == total
+        assert hist.bucket_counts()[float("inf")] == total
+
+    def test_snapshots_are_monotone_while_writers_run(self, registry):
+        # A reader interleaving with writers must never observe a value
+        # going backwards, and paired writes (a then b) keep a >= b in
+        # every locked snapshot.
+        a = registry.counter("a_total", "")
+        b = registry.counter("b_total", "")
+        stop = threading.Event()
+        violations = []
+
+        def writer():
+            while not stop.is_set():
+                a.inc()
+                b.inc()
+
+        def reader():
+            last = -1.0
+            for _ in range(2000):
+                snap = registry.snapshot()
+                va = snap["a_total"]["values"][0]["value"]
+                vb = snap["b_total"]["values"][0]["value"]
+                if va < vb or vb < last:
+                    violations.append((va, vb))
+                last = vb
+            stop.set()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not violations
+
+
+class TestCounterBank:
+    def test_dict_dialect_backed_by_registry_metrics(self, registry):
+        bank = CounterBank(registry, "repro_engine",
+                           labels={"formulation": "instance"})
+        bank.setdefault("rows", 0)
+        bank["rows"] += 5
+        bank["unk_values"] = 2
+        assert dict(bank) == {"rows": 5, "unk_values": 2}
+        assert bank["rows"] == 5 and isinstance(bank["rows"], int)
+        text = registry.render_prometheus()
+        assert 'repro_engine_rows_total{formulation="instance"} 5' in text
+        assert 'repro_engine_unk_values_total{formulation="instance"} 2' in text
+
+    def test_gauge_keys_render_without_total_suffix(self, registry):
+        bank = CounterBank(registry, "repro_batcher", gauges=("largest_batch",))
+        bank["largest_batch"] = 4
+        bank["largest_batch"] = max(bank["largest_batch"], 2)
+        assert bank["largest_batch"] == 4
+        assert "repro_batcher_largest_batch 4" in registry.render_prometheus()
+        assert registry.get("repro_batcher_largest_batch").kind == "gauge"
+
+    def test_unmaterialized_key_raises_keyerror(self, registry):
+        bank = CounterBank(registry, "p")
+        with pytest.raises(KeyError):
+            bank["never_written"]
+        assert "never_written" not in bank
+
+    def test_snapshot_reads_all_keys_under_one_lock(self, registry):
+        # Mutation contract mirrors the engine's: one writer at a time
+        # (the engine serializes ``stats[...] += n`` under its own lock —
+        # bank ``+=`` is get-then-set, not atomic across writers).  The
+        # bank's own promise is the *snapshot*: all keys read under one
+        # registry lock, so a reader never sees "hits" ahead of "rows".
+        bank = CounterBank(registry, "p")
+        bank.setdefault("rows", 0)
+        bank.setdefault("hits", 0)
+        stop = threading.Event()
+        violations = []
+
+        def writer():
+            while not stop.is_set():
+                bank["rows"] += 1  # always written before hits
+                bank["hits"] += 1
+
+        def reader():
+            for _ in range(2000):
+                snap = bank.snapshot()
+                if snap["rows"] < snap["hits"]:
+                    violations.append(snap)
+            stop.set()
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not violations
+        assert bank["rows"] in (bank["hits"], bank["hits"] + 1)
+
+
+class TestTracer:
+    def test_spans_nest_into_the_executed_tree(self, registry):
+        tracer = Tracer(registry, const_labels={"formulation": "t"})
+        with tracer.span("request"):
+            with tracer.span("cache"):
+                pass
+            with tracer.span("score"):
+                with tracer.span("encode"):
+                    pass
+                with tracer.span("propagate"):
+                    pass
+        root = tracer.last_root()
+        assert root.name == "request"
+        assert [c.name for c in root.children] == ["cache", "score"]
+        score = root.find("score")
+        assert [c.name for c in score.children] == ["encode", "propagate"]
+        assert root.find("missing") is None
+        assert root.duration >= score.duration >= 0.0
+        assert tracer.current() is None  # stack fully unwound
+
+    def test_every_span_lands_in_the_stage_histogram(self, registry):
+        tracer = Tracer(registry, const_labels={"formulation": "t"})
+        for _ in range(3):
+            with tracer.span("encode"):
+                pass
+        assert tracer.stage_histogram("encode").count == 3
+        text = registry.render_prometheus()
+        assert (
+            'repro_stage_duration_seconds_count{formulation="t",stage="encode"} 3'
+            in text
+        )
+
+    def test_threads_trace_independently(self, registry):
+        tracer = Tracer(registry)
+        roots = {}
+
+        def worker(name):
+            with tracer.span(name):
+                with tracer.span(name + "-inner"):
+                    pass
+            roots[name] = tracer.last_root()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, root in roots.items():
+            assert root.name == name  # no cross-thread parenting
+            assert [c.name for c in root.children] == [name + "-inner"]
+        assert tracer.last_root() is None  # main thread never traced
+
+    def test_null_context_is_reusable_and_transparent(self):
+        with NULL_CONTEXT:
+            with NULL_CONTEXT:
+                pass
+        with pytest.raises(RuntimeError):
+            with NULL_CONTEXT:
+                raise RuntimeError("propagates")

@@ -10,6 +10,7 @@ also pins the ``/healthz`` contract for the newly-servable formulation.
 
 import http.client
 import json
+import logging
 
 import numpy as np
 import pytest
@@ -61,6 +62,37 @@ def _request(server, method, path, body=None, headers=None):
         return response.status, payload
     finally:
         conn.close()
+
+
+def _request_raw(server, method, path):
+    """Like ``_request`` but for non-JSON responses (``/metrics``)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type"),
+            response.read().decode(),
+        )
+    finally:
+        conn.close()
+
+
+def _scrape(server):
+    status, content_type, text = _request_raw(server, "GET", "/metrics")
+    assert status == 200
+    return text
+
+
+def _sample_value(text, line_prefix):
+    """Value of the unique exposition sample starting with ``line_prefix``."""
+    matches = [
+        line for line in text.splitlines()
+        if line.startswith(line_prefix) and not line.startswith("#")
+    ]
+    assert len(matches) == 1, f"{line_prefix!r} matched {matches!r}"
+    return float(matches[0].rsplit(" ", 1)[1])
 
 
 def _good_row(dataset):
@@ -151,3 +183,144 @@ class TestHealthz:
     def test_health_alias_route(self, server):
         status, health = _request(server, "GET", "/health")
         assert status == 200 and health["formulation"] == "hypergraph"
+
+    def test_healthz_snapshot_is_locked_and_consistent(self, server, dataset):
+        _request(server, "POST", "/predict", body=json.dumps(_good_row(dataset)))
+        status, health = _request(server, "GET", "/healthz")
+        assert status == 200
+        engine = health["engine"]
+        # The locked engine snapshot: every scored row is accounted for by
+        # exactly one of cache-hit or forward.
+        assert engine["cache_hits"] + engine["forward_rows"] == engine["rows"]
+        assert health["batcher"]["rows"] <= engine["rows"]
+        assert health["server"]["rejected_oversize"] >= 0
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposes_request_and_stage_histograms(self, server, dataset):
+        status, payload = _request(
+            server, "POST", "/predict", body=json.dumps(_good_row(dataset))
+        )
+        assert status == 200
+        text = _scrape(server)
+        # Prometheus text exposition: typed families with HELP lines.
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_duration_seconds histogram" in text
+        assert "# TYPE repro_request_duration_seconds histogram" in text
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+        # At least one predict flowed through: the engine-side request
+        # histogram and every scorer stage observed it.
+        assert _sample_value(
+            text,
+            'repro_request_duration_seconds_count'
+            '{formulation="hypergraph",endpoint="predict_batch"}',
+        ) >= 1
+        for stage in ("cache", "score", "encode", "attach", "propagate", "head"):
+            assert _sample_value(
+                text,
+                f'repro_stage_duration_seconds_count'
+                f'{{formulation="hypergraph",stage="{stage}"}}',
+            ) >= 1, stage
+        # Drift gauges are present and finite.
+        for gauge in (
+            "repro_engine_unk_rate", "repro_engine_cache_hit_rate",
+            "repro_engine_attach_fanout", "repro_engine_cache_entries",
+        ):
+            assert np.isfinite(
+                _sample_value(text, f'{gauge}{{formulation="hypergraph"}}')
+            )
+        # Batcher instrumentation rides the same registry.
+        assert _sample_value(text, "repro_batcher_queue_depth") == 0
+        assert _sample_value(text, "repro_batcher_in_flight") == 0
+        assert "# TYPE repro_batcher_queue_wait_seconds histogram" in text
+
+    def test_metrics_content_type_is_prometheus_text(self, server):
+        status, content_type, _ = _request_raw(server, "GET", "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_http_counters_track_status_and_path(self, server, dataset):
+        before = _scrape(server)
+
+        def count(text, path, status):
+            prefix = (
+                f'repro_http_requests_total{{method="POST",path="{path}",'
+                f'status="{status}"}}'
+            )
+            try:
+                return _sample_value(text, prefix)
+            except AssertionError:
+                return 0.0
+
+        _request(server, "POST", "/predict", body=json.dumps(_good_row(dataset)))
+        _request(server, "POST", "/predict", body="{not json")
+        _request(server, "POST", "/definitely/not/a/route")
+        after = _scrape(server)
+        assert count(after, "/predict", 200) == count(before, "/predict", 200) + 1
+        assert count(after, "/predict", 400) == count(before, "/predict", 400) + 1
+        # Unknown paths collapse into one "other" series — scrape label
+        # cardinality stays bounded no matter what clients probe.
+        assert count(after, "other", 404) == count(before, "other", 404) + 1
+        assert "/definitely/not/a/route" not in after
+
+    def test_oversized_requests_increment_the_413_counter(self, server, dataset):
+        before = _sample_value(_scrape(server), "repro_http_rejected_oversize_total")
+        body = json.dumps({
+            "numerical": dataset.numerical[0].tolist(),
+            "padding": "x" * 10_000,
+        })
+        status, _ = _request(server, "POST", "/predict", body=body)
+        assert status == 413
+        after = _sample_value(_scrape(server), "repro_http_rejected_oversize_total")
+        assert after == before + 1
+
+
+class TestAccessLog:
+    def test_structured_json_access_log_when_enabled(self, artifact, dataset):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        logger = logging.getLogger("repro.serving.access")
+        handler = Capture(level=logging.INFO)
+        old_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            with PredictionServer(artifact, port=0, access_log=True) as srv:
+                _request(srv, "POST", "/predict", body=json.dumps(_good_row(dataset)))
+                _request(srv, "GET", "/healthz")
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+
+        entries = [json.loads(line) for line in records]
+        assert len(entries) == 2
+        predict, healthz = entries
+        assert predict["method"] == "POST" and predict["path"] == "/predict"
+        assert predict["status"] == 200 and predict["rows"] == 1
+        assert predict["latency_ms"] >= 0
+        assert healthz["method"] == "GET" and healthz["path"] == "/healthz"
+        assert healthz["status"] == 200
+
+    def test_access_log_is_off_by_default(self, artifact, dataset):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        logger = logging.getLogger("repro.serving.access")
+        handler = Capture(level=logging.INFO)
+        old_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            with PredictionServer(artifact, port=0) as srv:
+                _request(srv, "POST", "/predict", body=json.dumps(_good_row(dataset)))
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        assert records == []

@@ -17,6 +17,7 @@ and skipping training keeps the hammering tight.
 """
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -104,6 +105,66 @@ class TestMicroBatcherHammering:
             good = batcher.submit(rows[0])
             assert np.isfinite(good).all()
 
+    def test_flush_drains_all_in_flight_rows(self, artifact, rows):
+        engine = InferenceEngine(artifact, cache_size=0)
+        results = [None] * 48
+        # Batch window larger than the submit burst: all 48 rows are
+        # queued (in flight, unanswered) when flush() is called.
+        with MicroBatcher(engine, max_batch_size=64, max_delay_ms=250.0) as batcher:
+            def worker(i):
+                results[i] = batcher.submit(rows[i % rows.shape[0]])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(48)
+            ]
+            for t in threads:
+                t.start()
+            deadline = time.time() + 5.0
+            while batcher._pending < 48 and time.time() < deadline:
+                time.sleep(0.001)
+            assert batcher._pending == 48
+            # flush() blocks until every submitted row has been answered.
+            assert batcher.flush(timeout=30.0)
+            assert batcher._pending == 0
+            assert batcher.snapshot()["rows"] == 48
+            for t in threads:
+                t.join(timeout=10.0)
+            assert all(
+                r is not None and np.isfinite(r).all() for r in results
+            )
+            # Gauges read live state: drained means empty queue, nothing
+            # in flight.
+            registry = engine.registry
+            assert registry.get("repro_batcher_queue_depth").value == 0
+            assert registry.get("repro_batcher_in_flight").value == 0
+        # flush() on an idle (even closed) batcher returns immediately.
+        assert batcher.flush(timeout=0.1)
+
+    def test_in_flight_gauge_counts_submitted_unanswered_rows(self, artifact, rows):
+        engine = InferenceEngine(artifact, cache_size=0)
+        # A huge delay + batch size keeps rows queued until the window
+        # closes, long enough to observe them in flight.
+        with MicroBatcher(engine, max_batch_size=64, max_delay_ms=200.0) as batcher:
+            registry = engine.registry
+            in_flight = registry.get("repro_batcher_in_flight")
+            with ThreadPoolExecutor(4) as pool:
+                futures = [
+                    pool.submit(batcher.submit, rows[i]) for i in range(4)
+                ]
+                deadline = time.time() + 5.0
+                while in_flight.value < 4 and time.time() < deadline:
+                    time.sleep(0.001)
+                assert in_flight.value == 4
+                assert batcher.flush(timeout=30.0)
+                assert in_flight.value == 0
+                for f in futures:
+                    assert np.isfinite(f.result()).all()
+            # Queue-wait histogram saw every row, dominated by the delay
+            # window the first row waited out.
+            wait = registry.get("repro_batcher_queue_wait_seconds")
+            assert wait.count == 4
+            assert registry.get("repro_batcher_batch_size").count >= 1
+
 
 class TestEngineCacheHammering:
     def test_lru_consistent_under_contention(self, artifact, rows, reference):
@@ -138,6 +199,46 @@ class TestEngineCacheHammering:
         assert engine.stats["cache_hits"] + engine.stats["forward_rows"] == total
         assert engine.stats["cache_hits"] > 0
         assert len(engine._cache) <= 8
+
+    def test_snapshot_consistent_while_predictions_run(self, artifact, rows):
+        # engine.snapshot() takes the engine lock, under which every stat
+        # mutation happens — so even mid-hammering, any snapshot satisfies
+        # the accounting invariant: each row was a cache hit XOR a forward.
+        engine = InferenceEngine(artifact, cache_size=8)
+        picks = np.random.default_rng(17).integers(0, 16, (8, 40))
+        stop = threading.Event()
+        violations = []
+        errors = []
+
+        def worker(thread_idx):
+            try:
+                for row_idx in picks[thread_idx]:
+                    engine.predict(rows[row_idx])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def observer():
+            while not stop.is_set():
+                snap = engine.snapshot()
+                if snap["cache_hits"] + snap["forward_rows"] != snap["rows"]:
+                    violations.append(snap)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        obs_thread = threading.Thread(target=observer)
+        obs_thread.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        obs_thread.join()
+        assert not errors
+        assert not violations
+        final = engine.snapshot()
+        assert final["rows"] == 8 * 40
+        assert final["cache_hits"] + final["forward_rows"] == final["rows"]
 
     def test_cache_entries_are_immutable(self, artifact, rows, reference):
         engine = InferenceEngine(artifact, cache_size=4)
