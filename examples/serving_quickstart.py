@@ -15,9 +15,18 @@ per-column *value-node vocabularies* that unseen rows attach to by lookup
 3. reload it (as a fresh process would) and score rows the training graph
    never contained — including a transaction from a never-seen device —
    via the Python engine *and* the HTTP server, checking ``/healthz`` for
-   the formulation / schema / inference path;
+   the formulation / schema / inference path.  By default the engine
+   **compiles** the scorer's query path into a flat autograd-free
+   :class:`~repro.serving.compiled.InferencePlan` (pure-numpy kernels
+   over preallocated reused buffers; the kernel vocabulary is tabled in
+   ``repro/serving/compiled/__init__.py``) — ``engine.compiled`` says
+   whether the plan is live, ``engine.compile_ms`` what the one-time
+   lowering cost, and ``InferenceEngine(artifact, compiled=False)``
+   forces the interpreted autograd scorer (the training engine, kept as
+   the 1e-8 parity oracle);
 4. scrape ``/metrics`` (Prometheus text) and print a snapshot of the
-   engine's request-latency histogram, per-stage spans and drift gauges.
+   engine's request-latency histogram, per-stage spans (``plan_execute``
+   on the compiled path) and drift gauges.
 
 Instance-graph pipelines (any network in the zoo) ride the same API — swap
 ``formulation="instance", network="gat"`` and nothing else changes.
@@ -58,6 +67,10 @@ with tempfile.TemporaryDirectory() as tmp:
     artifact = ModelArtifact.load(path)
     print("capped groups:     ", artifact.payload_meta["capped_groups"])
     engine = InferenceEngine(artifact)
+    # The query path was lowered to a compiled plan at init (pass
+    # compiled=False to keep the interpreted autograd scorer instead).
+    print(f"compiled plan:      {engine.compiled} "
+          f"(lowered in {engine.compile_ms:.1f} ms)")
     probs = engine.predict_batch(dataset.numerical[:8], dataset.categorical[:8])
     print("engine predictions:", probs.argmax(axis=1).tolist())
 
@@ -81,7 +94,7 @@ with tempfile.TemporaryDirectory() as tmp:
         print("http /healthz:     ", {k: health[k] for k in
                                       ("status", "formulation", "network",
                                        "schema_version", "incremental",
-                                       "pool_rows")})
+                                       "compiled", "pool_rows")})
 
         # 4. Every serving component (HTTP layer, engine, micro-batcher)
         # reports into one registry, exposed Prometheus-style on /metrics

@@ -105,11 +105,28 @@ class PoolIndex:
         stacked = np.concatenate([queries, self.pool], axis=0)
         return pairwise_similarity(stacked, measure)[: len(queries), len(queries):]
 
+    def _ranking_scores(self, queries: np.ndarray) -> np.ndarray:
+        """(B, N) scores whose ordering equals :meth:`similarity`'s.
+
+        The distance family ranks by ``-d²`` directly: ``-d`` (euclidean)
+        and ``exp(-γ·d²)`` (rbf/heat, γ > 0) are strictly decreasing in
+        ``d²``, so the sqrt/exp passes buy nothing for top-k and are
+        skipped on the serving hot path.
+        """
+        if self.measure in self._DISTANCE_MEASURES:
+            queries = np.asarray(queries, dtype=np.float64)
+            scores = queries @ self._pool_t
+            scores *= 2.0
+            scores -= (queries**2).sum(axis=1)[:, None]
+            scores -= self._pool_sq[None, :]
+            return scores
+        return self.similarity(queries)
+
     def top_k(self, queries: np.ndarray, k: int) -> np.ndarray:
         """Indices (B, k) of each query's top-k pool rows, best first."""
         if not 1 <= k <= self.size:
             raise ValueError(f"k must be in [1, pool size], got {k}")
-        sim = self.similarity(queries)
+        sim = self._ranking_scores(queries)
         top = np.argpartition(sim, kth=self.size - k, axis=1)[:, -k:]
         order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
         return np.take_along_axis(top, order, axis=1)

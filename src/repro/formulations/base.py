@@ -79,6 +79,9 @@ class RowScorer(abc.ABC):
     incremental: bool = False
     #: class-level default — unbound scorers trace nothing
     _tracer: Optional[Tracer] = None
+    #: compiled plan executor (see :mod:`repro.serving.compiled`); ``None``
+    #: means the interpreted autograd path is in charge
+    _compiled = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -100,6 +103,23 @@ class RowScorer(abc.ABC):
         if tracer is None or tracer.current() is None:
             return NULL_CONTEXT
         return tracer.span(name)
+
+    def compile_plan(self):
+        """Lower this scorer's query path to a compiled plan executor.
+
+        Returns an executor (object with a ``.plan`` and a ``run``
+        method the scorer's ``score`` knows how to feed) or ``None`` when
+        the path cannot be lowered.  The default returns ``None``, so
+        plug-in formulations keep serving through the interpreted autograd
+        path without any extra work.
+        """
+        return None
+
+    def enable_compiled(self) -> bool:
+        """Build the compiled plan once; report whether scoring uses it."""
+        if self._compiled is None:
+            self._compiled = self.compile_plan()
+        return self._compiled is not None
 
     @abc.abstractmethod
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:

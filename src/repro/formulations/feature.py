@@ -37,9 +37,17 @@ class FeatureScorer(RowScorer):
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
         with self.stage("encode"):
             features = self._artifact.preprocessor.transform(numerical, categorical)
+        if self._compiled is not None:
+            with self.stage("plan_execute"):
+                return self._compiled.run(features)
         with self.stage("propagate"):
             self.model.eval()
             return self.model(features).data
+
+    def compile_plan(self):
+        from repro.serving.compiled import compile_feature
+
+        return compile_feature(self.model)
 
 
 class FittedFeature(FittedFormulation):

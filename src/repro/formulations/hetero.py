@@ -79,10 +79,18 @@ class HeteroScorer(RowScorer):
                 value_ids[spec.name] = ids
             self._stats["unk_values"] += unk
             self._stats["attach_edges"] += attached
+        if self._compiled is not None:
+            with self.stage("plan_execute"):
+                return self._compiled.run(features, value_ids)
         with self.stage("propagate"):
             return self.model.network.propagate_queries(
                 features, value_ids, self.pool_states
             )
+
+    def compile_plan(self):
+        from repro.serving.compiled import compile_hetero
+
+        return compile_hetero(self.model.network, self.pool_states)
 
 
 class FittedHetero(FittedFormulation):

@@ -82,6 +82,9 @@ class HypergraphScorer(RowScorer):
         if self.incremental:
             with self.stage("attach"):
                 view = self._fitted.graph.attach_view(member_ids)
+            if self._compiled is not None:
+                with self.stage("plan_execute"):
+                    return self._compiled.run(view, member_ids.shape[0])
             with self.stage("propagate"):
                 return self.model.propagate_queries(view, self.node_states)
         with self.stage("attach"):
@@ -89,6 +92,13 @@ class HypergraphScorer(RowScorer):
             model = self._artifact.build_model(graph=attached)
         with self.stage("propagate"):
             return model().data[self._fitted.graph.num_hyperedges:]
+
+    def compile_plan(self):
+        if not self.incremental:
+            return None  # the rebuild-per-request oracle stays interpreted
+        from repro.serving.compiled import compile_hypergraph
+
+        return compile_hypergraph(self.model, self.node_states)
 
 
 class FittedHypergraph(FittedFormulation):

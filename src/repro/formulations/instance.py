@@ -90,12 +90,22 @@ class InstanceScorer(RowScorer):
         with self.stage("attach"):
             neighbors = self._pool_index.top_k(features, self._k)
             self._stats["attach_edges"] += int(neighbors.size)
+        if self._compiled is not None:
+            with self.stage("plan_execute"):
+                return self._compiled.run(features, neighbors)
         with self.stage("propagate"):
             if self.incremental:
                 return self.model.propagate_queries(
                     features, neighbors, self.pool_hiddens
                 )
             return self._forward_full(features, neighbors)
+
+    def compile_plan(self):
+        if not self.incremental:
+            return None  # the full-graph oracle stays interpreted
+        from repro.serving.compiled import compile_instance
+
+        return compile_instance(self.model, self._graph, self.pool_hiddens, self._k)
 
 
 class FittedInstance(FittedFormulation):

@@ -111,6 +111,18 @@ class MultiplexScorer(RowScorer):
     def score(self, numerical: np.ndarray, categorical: np.ndarray) -> np.ndarray:
         with self.stage("encode"):
             features = self._artifact.preprocessor.transform(numerical, categorical)
+        if self._compiled is not None:
+            # Compiled path skips the sparse-operator build entirely: the
+            # executor resolves raw value codes against its vocabulary
+            # lookups (keeping unk/attach accounting identical) and feeds
+            # the plan precomputed group means.
+            with self.stage("attach"):
+                codes = [
+                    spec.encode(numerical, categorical)
+                    for spec in self._fitted.specs
+                ]
+            with self.stage("plan_execute"):
+                return self._compiled.run(features, codes, self._stats)
         with self.stage("attach"):
             operators = [
                 self._member_operator(spec.encode(numerical, categorical), vocab)
@@ -121,6 +133,13 @@ class MultiplexScorer(RowScorer):
             return self.model.propagate_queries(
                 features, operators, self.pool_messages
             )
+
+    def compile_plan(self):
+        from repro.serving.compiled import compile_multiplex
+
+        return compile_multiplex(
+            self.model, self._fitted.vocabularies, self.pool_messages
+        )
 
 
 class FittedMultiplex(FittedFormulation):

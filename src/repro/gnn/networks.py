@@ -223,6 +223,21 @@ class _NodeNetwork(nn.Module):
                 h = step.fn(h)
         return h.data
 
+    def serve_plan(self) -> list:
+        """The eval-time step sequence, training-only steps stripped.
+
+        The serve-path plan compiler
+        (:mod:`repro.serving.compiled`) walks this sequence to lower
+        :meth:`propagate_queries` into a flat kernel plan; the entries are
+        the same :class:`_Local` / :class:`_Propagate` records the
+        interpreted path replays, in the same order.
+        """
+        return [
+            step
+            for step in self._steps
+            if isinstance(step, _Propagate) or not step.train_only
+        ]
+
 
 class GCN(_NodeNetwork):
     """Multi-layer GCN [77] on the symmetric-normalized adjacency."""

@@ -104,6 +104,19 @@ class InferenceEngine:
         is what keeps instrumentation inside the < 5% overhead budget —
         the request-latency histogram stays exact because it never
         samples.
+    compiled:
+        ``True`` (default) lowers the scorer's query path to a flat
+        compiled plan (:mod:`repro.serving.compiled`) at construction:
+        pure-numpy kernels over preallocated reused buffers, no autograd
+        Tensor wrappers or backward closures on the hot path, pool-side
+        work folded into compile-time constants.  Best-effort — scorers
+        whose path cannot be lowered (plug-in formulations, oracle modes)
+        silently keep the interpreted autograd path.  ``self.compiled``
+        reports which path serves; ``self.compile_ms`` the one-time
+        lowering cost.  Per-request complexity is unchanged (the
+        incremental paths were already O(B·k·d) / O(B·columns·d)); the
+        constant factor drops because each request now executes only the
+        query-dependent kernels.
 
     Notes
     -----
@@ -119,8 +132,10 @@ class InferenceEngine:
     Observability (when enabled): end-to-end latency lands in the
     ``repro_request_duration_seconds{formulation,endpoint}`` histogram
     (every request); sampled requests are traced through the
-    ``cache → score(encode → attach → propagate) → head`` stages
-    (``repro_stage_duration_seconds{formulation,stage}``).  ``stats``
+    ``cache → score(encode → attach → plan_execute|propagate) → head``
+    stages (``repro_stage_duration_seconds{formulation,stage}``) —
+    compiled execution reports the ``plan_execute`` stage where the
+    interpreted path reports ``propagate``.  ``stats``
     stays a plain dict — mutated only under the engine lock, so
     increments cost the same as before instrumentation — and is exported
     to the registry through collection-time callbacks
@@ -136,6 +151,7 @@ class InferenceEngine:
         registry: Optional[MetricsRegistry] = None,
         observability: bool = True,
         trace_every: int = 32,
+        compiled: bool = True,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -154,6 +170,12 @@ class InferenceEngine:
             self._trace_every = 0
         self._scorer = artifact.fitted.make_scorer(artifact, incremental, self.stats)
         self.incremental = bool(self._scorer.incremental)
+        self.compiled = False
+        self.compile_ms = 0.0
+        if compiled:
+            started = time.perf_counter()
+            self.compiled = bool(self._scorer.enable_compiled())
+            self.compile_ms = (time.perf_counter() - started) * 1000.0
         if self._tracer is not None:
             self._scorer.bind_tracer(self._tracer)
             # The scorer's __init__ has now setdefault'ed its own keys
@@ -223,6 +245,13 @@ class InferenceEngine:
             "Rows currently memoized in the LRU cache.",
             labelnames=("formulation",),
         ).labels(**labels).set_function(lambda: len(self._cache))
+        self.registry.gauge(
+            "repro_engine_compiled",
+            "1 when the compiled plan serves the hot path, 0 interpreted.",
+            labelnames=("formulation",),
+        ).labels(**labels).set_function(
+            lambda: 1.0 if self.compiled else 0.0
+        )
 
     # ------------------------------------------------------------------
     def _root_span(self, name: str):

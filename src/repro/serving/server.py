@@ -285,10 +285,12 @@ class PredictionServer:
         """Liveness plus which inference path this deployment runs.
 
         ``formulation``/``network``/``schema_version``/``incremental``/
-        ``pool_rows`` are surfaced at the top level so operators can verify
-        what a deployment serves — which formulation and artifact schema,
-        and whether requests ride a cached-pool incremental path — without
-        digging through the artifact summary.  Engine and batcher stats are
+        ``compiled``/``pool_rows`` are surfaced at the top level so
+        operators can verify what a deployment serves — which formulation
+        and artifact schema, whether requests ride a cached-pool
+        incremental path, and whether the compiled plan (vs the
+        interpreted autograd path) executes them — without digging
+        through the artifact summary.  Engine and batcher stats are
         *locked snapshots* (consistent under concurrent predicts), not
         reads of the live dicts.
         """
@@ -298,6 +300,8 @@ class PredictionServer:
             "network": self.artifact.network,
             "schema_version": int(self.artifact.schema_version),
             "incremental": bool(self.engine.incremental),
+            "compiled": bool(self.engine.compiled),
+            "compile_ms": float(self.engine.compile_ms),
             "pool_rows": self.artifact.pool_rows,
             "artifact": self.artifact.summary(),
             "engine": self.engine.snapshot(),

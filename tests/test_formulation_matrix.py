@@ -31,7 +31,9 @@ from repro.tensor.ops import softmax_rows
 SEED = 20260729
 #: instance is the only formulation with a free network axis (one family
 #: per conv substrate); every other formulation carries its architecture.
-INSTANCE_NETWORKS = ("gcn", "gat", "gated")
+#: All five families ride the matrix so the compiled-plan lowering of each
+#: conv substrate is fuzzed against the autograd oracle.
+INSTANCE_NETWORKS = ("gcn", "sage", "gin", "gat", "gated")
 
 
 def _matrix():
@@ -150,6 +152,45 @@ def test_fuzzed_unseen_rows_serve_validly(form, network, dataset, trained):
         )
 
 
+@pytest.mark.parametrize(("form", "network"), MATRIX)
+def test_compiled_plan_matches_interpreted_scorer(form, network, dataset, trained):
+    # The compiled plan (default) must reproduce the interpreted autograd
+    # scorer to 1e-8 on every registered servable cell — including fuzzed
+    # unseen rows, missing cells, and a never-seen categorical code — and
+    # must keep the serving counters (unk_values, attach_edges) identical.
+    # Plug-in formulations whose path cannot be lowered fall back to the
+    # interpreted scorer, so this comparison holds for them trivially.
+    artifact = trained(form, network).export_artifact()
+    compiled = InferenceEngine(artifact, cache_size=0)
+    interpreted = InferenceEngine(artifact, cache_size=0, compiled=False)
+    assert compiled.compiled, "registry formulations all lower to plans"
+    assert not interpreted.compiled
+    assert compiled.compile_ms > 0.0
+    rng = _cell_rng(form, network)
+
+    idx = rng.choice(dataset.num_instances, size=12, replace=False)
+    numerical = dataset.numerical[idx] + rng.normal(
+        0.0, 0.5, (idx.size, dataset.num_numerical)
+    )
+    categorical = dataset.categorical[idx].copy()
+    numerical[rng.random(numerical.shape) < 0.25] = np.nan
+    categorical[rng.random(categorical.shape) < 0.25] = -1
+    categorical[:2, 0] = 10_000_000  # never-seen code → UNK bucket
+
+    np.testing.assert_allclose(
+        compiled.predict_batch(numerical, categorical),
+        interpreted.predict_batch(numerical, categorical),
+        atol=1e-8,
+    )
+    np.testing.assert_allclose(
+        compiled.predict(numerical[:1], categorical[:1]),
+        interpreted.predict(numerical[:1], categorical[:1]),
+        atol=1e-8,
+    )
+    for key in ("unk_values", "attach_edges"):
+        assert compiled.stats.get(key) == interpreted.stats.get(key), key
+
+
 def test_hypergraph_round_trip_without_continuous_columns(tmp_path):
     # Regression: a dataset with no binned numerical columns persists an
     # *empty* bin_edges array; the artifact must still reload and serve
@@ -175,11 +216,13 @@ def test_hypergraph_round_trip_without_continuous_columns(tmp_path):
 def test_every_formulation_exposes_stage_metrics(form, network, dataset, trained):
     # The observability contract is formulation-agnostic: any servable
     # artifact's engine exposes per-stage latency histograms (the score
-    # span plus the encode/propagate stages every scorer marks), the
+    # span plus the encode stage every scorer marks, and the
+    # plan_execute stage the compiled default serves through), the
     # request-latency histogram, and the drift gauges — all under its own
     # ``formulation`` label.
     artifact = trained(form, network).export_artifact()
     engine = InferenceEngine(artifact)
+    assert engine.compiled, "matrix formulations all lower to compiled plans"
     engine.predict(dataset.numerical[0], dataset.categorical[0])
     engine.predict_batch(dataset.numerical[:6], dataset.categorical[:6])
 
@@ -198,7 +241,7 @@ def test_every_formulation_exposes_stage_metrics(form, network, dataset, trained
             f'repro_request_duration_seconds_count'
             f'{{formulation="{form}",endpoint="{endpoint}"}}'
         ) == expected
-    for stage in ("cache", "score", "encode", "propagate", "head"):
+    for stage in ("cache", "score", "encode", "plan_execute", "head"):
         assert count_of(
             f'repro_stage_duration_seconds_count'
             f'{{formulation="{form}",stage="{stage}"}}'
@@ -206,6 +249,7 @@ def test_every_formulation_exposes_stage_metrics(form, network, dataset, trained
     for gauge in (
         "repro_engine_unk_rate", "repro_engine_cache_hit_rate",
         "repro_engine_attach_fanout", "repro_engine_cache_entries",
+        "repro_engine_compiled",
     ):
         assert f'{gauge}{{formulation="{form}"}}' in text, gauge
     # The internal request histogram's quantiles are real numbers the

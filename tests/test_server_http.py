@@ -215,7 +215,9 @@ class TestMetricsEndpoint:
             'repro_request_duration_seconds_count'
             '{formulation="hypergraph",endpoint="predict_batch"}',
         ) >= 1
-        for stage in ("cache", "score", "encode", "attach", "propagate", "head"):
+        # plan_execute replaces propagate: the server's engine defaults to
+        # the compiled plan path.
+        for stage in ("cache", "score", "encode", "attach", "plan_execute", "head"):
             assert _sample_value(
                 text,
                 f'repro_stage_duration_seconds_count'

@@ -285,3 +285,74 @@ class TestEngineCacheHammering:
             t.join()
         assert not errors
         assert engine.stats["rows"] == 8 * 10
+
+
+class TestCompiledPlanBuffers:
+    """Allocation stability and isolation of the compiled serve path.
+
+    The compiled plan owns its scratch/output buffers: after the first
+    request at a given batch size, repeated requests reuse the very same
+    arrays (no allocation on the hot path), and a batch-size change
+    triggers exactly one reallocation.  Buffers are per-engine — two
+    engines serving the same artifact never share mutable state, which is
+    what makes the engine-lock-per-engine threading model sound.
+    """
+
+    def test_output_buffer_stable_across_requests(self, artifact, rows):
+        engine = InferenceEngine(artifact, cache_size=0)
+        assert engine.compiled
+        plan = engine._scorer._compiled.plan
+        engine.predict(rows[0])
+        assert plan.reallocations == 1
+        out_id = id(plan.buffers[plan.output])
+        buffer_ids = {name: id(buf) for name, buf in plan.buffers.items()}
+        for i in range(1, 12):
+            engine.predict(rows[i])
+        assert plan.reallocations == 1  # warm path never reallocates
+        assert id(plan.buffers[plan.output]) == out_id
+        assert {name: id(buf) for name, buf in plan.buffers.items()} == buffer_ids
+
+    def test_batch_size_change_reallocates_exactly_once(self, artifact, rows):
+        engine = InferenceEngine(artifact, cache_size=0)
+        plan = engine._scorer._compiled.plan
+        engine.predict_batch(rows[:8])
+        assert plan.reallocations == 1
+        engine.predict_batch(rows[8:16])  # same batch size: reuse
+        assert plan.reallocations == 1
+        engine.predict_batch(rows[:16])  # new batch size: one realloc
+        assert plan.reallocations == 2
+        engine.predict_batch(rows[16:32])
+        assert plan.reallocations == 2
+
+    def test_concurrent_engines_do_not_share_plan_buffers(self, artifact, rows, reference):
+        engines = [InferenceEngine(artifact, cache_size=0) for _ in range(2)]
+        for engine in engines:
+            engine.predict_batch(rows[:4])
+        plans = [e._scorer._compiled.plan for e in engines]
+        assert plans[0] is not plans[1]
+        ids = [
+            {id(buf) for buf in plan.buffers.values()} for plan in plans
+        ]
+        assert not ids[0] & ids[1], "engines share mutable plan buffers"
+        # And hammering both concurrently stays correct.
+        errors = []
+
+        def worker(engine):
+            try:
+                for i in range(40):
+                    np.testing.assert_allclose(
+                        engine.predict(rows[i % 16]), reference[i % 16],
+                        atol=1e-12,
+                    )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(engine,))
+            for engine in engines for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
