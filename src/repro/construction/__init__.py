@@ -42,8 +42,12 @@ from repro.construction.learned import (
     topk_sparsify,
 )
 from repro.construction.retrieval import (
+    INDEX_BACKENDS,
+    ExactIndexBackend,
+    IVFIndexBackend,
     PoolIndex,
     cross_similarity,
+    register_index_backend,
     retrieval_augmented_graph,
     retrieve_neighbors,
 )
@@ -70,8 +74,12 @@ __all__ = [
     "NeuralGraphLearner",
     "dense_gcn_norm",
     "topk_sparsify",
+    "ExactIndexBackend",
+    "INDEX_BACKENDS",
+    "IVFIndexBackend",
     "PoolIndex",
     "cross_similarity",
+    "register_index_backend",
     "retrieval_augmented_graph",
     "retrieve_neighbors",
 ]

@@ -5,11 +5,42 @@ connect the target to its retrieved neighbors.  Unlike plain kNN over the
 full dataset, retrieval (a) separates the query set from the pool — new
 rows can be linked into a frozen pool at test time — and (b) can restrict
 similarity to a subset of columns (the "label-relevant" view PET uses).
+
+Index backends
+--------------
+:class:`PoolIndex` owns the *measure math* (pool-side precomputation,
+query representations, ranking scores) and delegates neighbor *search*
+to a pluggable backend.  A backend implements two methods::
+
+    build(index: PoolIndex) -> backend   # precompute search structures
+    top_k(queries, k, exclude=None) -> (B, k) int64 pool indices
+
+and registers itself under a name in :data:`INDEX_BACKENDS` (or via
+:func:`register_index_backend`).  Everything downstream — the serving
+engine, ``retrieval_augmented_graph``, the CLI ``--index`` flag — selects
+backends purely by name, so a future HNSW/LSH plug-in needs zero engine
+edits: implement the two methods, register the name, pass it through.
+
+Two backends ship:
+
+* ``"exact"`` (default) — the O(N·d) scan over the precomputed pool
+  matrix.  This is the oracle every approximate backend is measured
+  against, and the bit-for-bit behavior `PoolIndex` always had.
+* ``"ivf"`` — a pure-numpy IVF (inverted-file) index: a k-means coarse
+  quantizer over the pool's ranking representation splits the pool into
+  ``nlist ≈ √N`` cells; a query scores the ``nprobe`` nearest cells'
+  members exactly (the same sqrt-free ``−d²`` / dot-product surrogate
+  the exact scan ranks by) and re-ranks only those candidates — O(√N·d)
+  per query instead of O(N·d).  Works for the dot-product family
+  (``cosine``/``pearson``/``inner``) and the distance family
+  (``euclidean``/``rbf``/``heat``); exotic measures (anything routed
+  through the generic stacked fallback) silently keep the exact scan,
+  reported via :attr:`PoolIndex.backend_name`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +66,241 @@ def cross_similarity(
     return PoolIndex(pool, measure).similarity(queries)
 
 
+def _sq_norms(x: np.ndarray) -> np.ndarray:
+    """Row-wise squared norms — the query-side term shared by
+    :meth:`PoolIndex.similarity` and :meth:`PoolIndex._ranking_scores`."""
+    return (x**2).sum(axis=1)
+
+
+def _select_top_k(scores: np.ndarray, k: int, size: int) -> np.ndarray:
+    """Best-first (B, k) column indices of a (B, size) score block."""
+    top = np.argpartition(scores, kth=size - k, axis=1)[:, -k:]
+    order = np.argsort(np.take_along_axis(scores, top, axis=1), axis=1)[:, ::-1]
+    return np.take_along_axis(top, order, axis=1)
+
+
+class ExactIndexBackend:
+    """The full O(N·d) scan — the default backend and recall oracle."""
+
+    name = "exact"
+
+    def build(self, index: "PoolIndex") -> "ExactIndexBackend":
+        self._index = index
+        return self
+
+    def top_k(
+        self, queries: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        index = self._index
+        scores = index._ranking_scores(queries)
+        if exclude is not None:
+            rows = np.nonzero(exclude >= 0)[0]
+            scores[rows, exclude[rows]] = -np.inf
+        return _select_top_k(scores, k, index.size)
+
+
+class IVFIndexBackend:
+    """Pure-numpy IVF: k-means coarse quantizer + exact cell re-ranking.
+
+    Parameters
+    ----------
+    nlist:
+        Number of k-means cells; default ``round(√N)`` (the standard
+        IVF sizing — probing ``nprobe`` cells then scans ``≈ nprobe·√N``
+        candidates).
+    nprobe:
+        Cells probed per query.  The recall/latency dial: more cells,
+        higher recall, more candidates re-ranked.  Probing automatically
+        widens past ``nprobe`` when the probed cells hold fewer than
+        ``k`` candidates, so results are always valid.
+    iters / sample / seed:
+        Lloyd iterations, training-sample cap, and RNG seed for the
+        (deterministic) k-means build.  Training runs on at most
+        ``sample`` pool rows; the final assignment pass covers the full
+        pool in bounded chunks.
+    """
+
+    name = "ivf"
+
+    def __init__(
+        self,
+        nlist: Optional[int] = None,
+        nprobe: int = 8,
+        iters: int = 10,
+        sample: Optional[int] = None,
+        seed: int = 0,
+        chunk_rows: int = 65536,
+    ) -> None:
+        if nlist is not None and nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        self._nlist_opt = nlist
+        self.nprobe = int(nprobe)
+        self._iters = int(iters)
+        self._sample = sample
+        self._seed = int(seed)
+        self._chunk_rows = int(chunk_rows)
+        self._fallback: Optional[ExactIndexBackend] = None
+
+    # ------------------------------------------------------------------
+    def build(self, index: "PoolIndex") -> "IVFIndexBackend":
+        self._index = index
+        if index._pool_t is None:
+            # Exotic measure (generic stacked fallback): no vector-space
+            # ranking representation to quantize — keep the exact scan.
+            self._fallback = ExactIndexBackend().build(index)
+            return self
+        pool_repr = index._pool_repr
+        n = pool_repr.shape[0]
+        self.nlist = int(
+            np.clip(
+                self._nlist_opt
+                if self._nlist_opt is not None
+                else round(np.sqrt(n)),
+                1,
+                n,
+            )
+        )
+        rng = np.random.default_rng(self._seed)
+        sample = (
+            self._sample
+            if self._sample is not None
+            else min(n, max(4096, 32 * self.nlist))
+        )
+        train = (
+            pool_repr
+            if n <= sample
+            else pool_repr[rng.choice(n, size=sample, replace=False)]
+        )
+        self._centroids = self._kmeans(train, self.nlist, rng, self._iters)
+        self.nlist = int(self._centroids.shape[0])
+        self._centroid_t = np.ascontiguousarray(self._centroids.T)
+        self._centroid_sq = _sq_norms(self._centroids)
+        # Cells are a Voronoi partition (−d² assignment) for every
+        # measure; *probing* must follow the ranking-score family.  For
+        # the dot family (inner/cosine/pearson) the best members live in
+        # cells whose centroid maximizes q·c — the −d² preference would
+        # skip exactly the high-norm cells a MIPS query wants (the
+        # spherical-k-means / IVF-for-MIPS idiom).  The distance family
+        # probes by −d², matching its −d² re-ranking surrogate.
+        self._dot_probe = index.measure not in index._DISTANCE_MEASURES
+        assign = self._nearest_cell(pool_repr)
+        # CSR-style cell membership: pool rows grouped by cell.
+        self._order = np.argsort(assign, kind="stable").astype(np.int64)
+        counts = np.bincount(assign, minlength=self.nlist)
+        self._offsets = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+        return self
+
+    def _nearest_cell(self, rows: np.ndarray) -> np.ndarray:
+        """Chunked nearest-centroid assignment by the ``−d²`` surrogate."""
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        for start in range(0, rows.shape[0], self._chunk_rows):
+            chunk = rows[start:start + self._chunk_rows]
+            scores = chunk @ self._centroid_t
+            scores *= 2.0
+            scores -= self._centroid_sq[None, :]
+            out[start:start + self._chunk_rows] = scores.argmax(axis=1)
+        return out
+
+    def _kmeans(
+        self, rows: np.ndarray, nlist: int, rng, iters: int
+    ) -> np.ndarray:
+        n, d = rows.shape
+        if nlist > n:  # nlist is clipped to pool size, but the k-means
+            nlist = n  # training set may be a smaller sample
+        centroids = rows[rng.choice(n, size=nlist, replace=False)].copy()
+        for _ in range(iters):
+            self._centroid_t = np.ascontiguousarray(centroids.T)
+            self._centroid_sq = _sq_norms(centroids)
+            assign = self._nearest_cell(rows)
+            counts = np.bincount(assign, minlength=nlist)
+            # Per-dimension bincount is a fast segment-sum for small d.
+            sums = np.stack(
+                [
+                    np.bincount(assign, weights=rows[:, j], minlength=nlist)
+                    for j in range(d)
+                ],
+                axis=1,
+            )
+            empty = counts == 0
+            if empty.any():  # re-seed dead cells to random training rows
+                sums[empty] = rows[rng.integers(0, n, int(empty.sum()))]
+                counts[empty] = 1
+            centroids = sums / counts[:, None]
+        return centroids
+
+    # ------------------------------------------------------------------
+    def top_k(
+        self, queries: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if self._fallback is not None:
+            return self._fallback.top_k(queries, k, exclude)
+        index = self._index
+        q = index._query_repr(queries)
+        batch = q.shape[0]
+        # Cell preference per query, best first (nlist is O(√N): a full
+        # sort here is cheap and lets probing widen without rescoring).
+        probe_scores = q @ self._centroid_t
+        if not self._dot_probe:
+            probe_scores *= 2.0
+            probe_scores -= self._centroid_sq[None, :]
+        cell_order = np.argsort(probe_scores, axis=1)[:, ::-1]
+        offsets, order = self._offsets, self._order
+        out = np.empty((batch, k), dtype=np.int64)
+        probed_total = 0
+        candidate_total = 0
+        for i in range(batch):
+            excluded = -1 if exclude is None else int(exclude[i])
+            need = k + (1 if excluded >= 0 else 0)
+            spans = []
+            count = 0
+            probed = 0
+            for cell in cell_order[i]:
+                if probed >= self.nprobe and count >= need:
+                    break
+                lo, hi = offsets[cell], offsets[cell + 1]
+                if hi > lo:
+                    spans.append(order[lo:hi])
+                    count += hi - lo
+                probed += 1
+            candidates = spans[0] if len(spans) == 1 else np.concatenate(spans)
+            scores = index._subset_scores(q[i], candidates)
+            if excluded >= 0:
+                scores[candidates == excluded] = -np.inf
+            if count > k:
+                top = np.argpartition(scores, count - k)[count - k:]
+            else:
+                top = np.arange(count)
+            order_k = np.argsort(scores[top])[::-1]
+            out[i] = candidates[top[order_k]]
+            probed_total += probed
+            candidate_total += count
+        stats = index.stats
+        stats["queries"] += batch
+        stats["probed_cells"] += probed_total
+        stats["candidates"] += candidate_total
+        return out
+
+
+#: Named backend registry — ``PoolIndex(..., backend="<name>")`` resolves
+#: here, so new backends (HNSW, LSH, …) plug in with zero engine edits.
+INDEX_BACKENDS: Dict[str, type] = {
+    "exact": ExactIndexBackend,
+    "ivf": IVFIndexBackend,
+}
+
+
+def register_index_backend(name: str, factory: type) -> type:
+    """Register a backend class under ``name`` (see module docstring)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    INDEX_BACKENDS[name] = factory
+    return factory
+
+
 class PoolIndex:
     """A frozen retrieval pool with its measure-specific terms precomputed.
 
@@ -45,11 +311,23 @@ class PoolIndex:
     :func:`cross_similarity` is a one-shot wrapper over this class, so the
     two are the same math by construction — top-k neighbor sets, ties
     included, match exactly.
+
+    ``backend`` selects the neighbor-search strategy behind :meth:`top_k`
+    (a name in :data:`INDEX_BACKENDS` — ``"exact"`` | ``"ivf"`` — or a
+    backend instance); ``backend_opts`` are forwarded to the backend's
+    constructor (e.g. ``nprobe=16`` for IVF).  :meth:`similarity` and
+    :meth:`exact_top_k` always use the exact math regardless of backend.
     """
 
     _DISTANCE_MEASURES = ("euclidean", "rbf", "heat")
 
-    def __init__(self, pool: np.ndarray, measure: str = "cosine") -> None:
+    def __init__(
+        self,
+        pool: np.ndarray,
+        measure: str = "cosine",
+        backend: object = "exact",
+        **backend_opts,
+    ) -> None:
         pool = np.asarray(pool, dtype=np.float64)
         if pool.ndim != 2 or pool.shape[0] == 0:
             raise ValueError("pool must be a non-empty (N, d) matrix")
@@ -71,27 +349,81 @@ class PoolIndex:
             self._pool_t = (centered / norms).T
         elif measure in self._DISTANCE_MEASURES:
             self._pool_t = pool.T
-            self._pool_sq = (pool**2).sum(axis=1)
+            self._pool_sq = _sq_norms(pool)
+        # Row-major ranking representation for subset gathers (a no-copy
+        # view: _pool_t is itself the transpose of a C-contiguous matrix).
+        self._pool_repr = (
+            None if self._pool_t is None
+            else np.ascontiguousarray(self._pool_t.T)
+        )
+        #: backend search counters (monotonic; approximate backends report
+        #: probe budgets here — the serving engine exports them).
+        self.stats: Dict[str, int] = {
+            "queries": 0, "probed_cells": 0, "candidates": 0,
+        }
+        if isinstance(backend, str):
+            if backend not in INDEX_BACKENDS:
+                raise ValueError(
+                    f"unknown index backend {backend!r}; choose from "
+                    f"{sorted(INDEX_BACKENDS)}"
+                )
+            backend = INDEX_BACKENDS[backend](**backend_opts)
+        self._backend = backend.build(self)
 
     @property
     def size(self) -> int:
         return int(self.pool.shape[0])
 
+    @property
+    def backend_name(self) -> str:
+        """The search strategy actually live behind :meth:`top_k` —
+        an approximate backend that had to fall back reports the scan it
+        delegates to (``/healthz`` surfaces this)."""
+        fallback = getattr(self._backend, "_fallback", None)
+        return fallback.name if fallback is not None else self._backend.name
+
+    @property
+    def is_approximate(self) -> bool:
+        return self.backend_name != "exact"
+
+    # ------------------------------------------------------------------
+    def _query_repr(self, queries: np.ndarray) -> np.ndarray:
+        """Queries mapped into the pool's ranking representation: the
+        space in which ranking scores are dot products against
+        ``_pool_t`` (plus pool-side constants for the distance family)."""
+        queries = np.asarray(queries, dtype=np.float64)
+        measure = self.measure
+        if measure in ("cosine", "pearson"):
+            if measure == "pearson":
+                queries = queries - queries.mean(axis=1, keepdims=True)
+            return queries / np.maximum(
+                np.linalg.norm(queries, axis=1, keepdims=True), 1e-12
+            )
+        return queries
+
+    def _subset_scores(
+        self, q_repr_row: np.ndarray, subset: np.ndarray
+    ) -> np.ndarray:
+        """Ranking scores of one query against a pool-row subset.
+
+        Same family as :meth:`_ranking_scores` — the distance measures
+        reuse the sqrt-free ``−d²`` surrogate (minus the per-query
+        constant, which cannot change a within-query ranking).
+        """
+        scores = self._pool_repr[subset] @ q_repr_row
+        if self.measure in self._DISTANCE_MEASURES:
+            scores *= 2.0
+            scores -= self._pool_sq[subset]
+        return scores
+
     def similarity(self, queries: np.ndarray) -> np.ndarray:
         """(B, N) similarity block against the frozen pool."""
         queries = np.asarray(queries, dtype=np.float64)
         measure = self.measure
-        if measure == "inner":
-            return queries @ self._pool_t
-        if measure in ("cosine", "pearson"):
-            if measure == "pearson":
-                queries = queries - queries.mean(axis=1, keepdims=True)
-            qn = queries / np.maximum(
-                np.linalg.norm(queries, axis=1, keepdims=True), 1e-12
-            )
-            return qn @ self._pool_t
+        if measure == "inner" or measure in ("cosine", "pearson"):
+            return self._query_repr(queries) @ self._pool_t
         if measure in self._DISTANCE_MEASURES:
-            sq = (queries**2).sum(axis=1)[:, None] + self._pool_sq[None, :]
+            sq = _sq_norms(queries)[:, None] + self._pool_sq[None, :]
             d = np.sqrt(np.maximum(sq - 2.0 * (queries @ self._pool_t), 0.0))
             if measure == "euclidean":
                 return -d
@@ -117,19 +449,54 @@ class PoolIndex:
             queries = np.asarray(queries, dtype=np.float64)
             scores = queries @ self._pool_t
             scores *= 2.0
-            scores -= (queries**2).sum(axis=1)[:, None]
+            scores -= _sq_norms(queries)[:, None]
             scores -= self._pool_sq[None, :]
             return scores
         return self.similarity(queries)
 
-    def top_k(self, queries: np.ndarray, k: int) -> np.ndarray:
-        """Indices (B, k) of each query's top-k pool rows, best first."""
-        if not 1 <= k <= self.size:
-            raise ValueError(f"k must be in [1, pool size], got {k}")
-        sim = self._ranking_scores(queries)
-        top = np.argpartition(sim, kth=self.size - k, axis=1)[:, -k:]
-        order = np.argsort(np.take_along_axis(sim, top, axis=1), axis=1)[:, ::-1]
-        return np.take_along_axis(top, order, axis=1)
+    def _validate_k(self, k: int, exclude: Optional[np.ndarray]) -> None:
+        limit = self.size - (1 if exclude is not None else 0)
+        if not 1 <= k <= limit:
+            raise ValueError(
+                f"k must be in [1, {limit}] for this pool"
+                f"{' (self-exclusion active)' if exclude is not None else ''}"
+                f", got {k}"
+            )
+
+    def top_k(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Indices (B, k) of each query's top-k pool rows, best first.
+
+        ``exclude`` optionally masks one pool row per query (a ``(B,)``
+        int array; ``-1`` masks nothing) — the self-match exclusion the
+        transductive kNN path needs when pool rows query their own pool.
+        """
+        self._validate_k(k, exclude)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64).reshape(-1)
+            if exclude.shape[0] != np.asarray(queries).shape[0]:
+                raise ValueError("exclude must supply one pool row per query")
+        return self._backend.top_k(queries, k, exclude)
+
+    def exact_top_k(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The exact-scan answer, regardless of configured backend — the
+        oracle recall@k is measured against."""
+        self._validate_k(k, exclude)
+        scores = self._ranking_scores(queries)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64).reshape(-1)
+            rows = np.nonzero(exclude >= 0)[0]
+            scores[rows, exclude[rows]] = -np.inf
+        return _select_top_k(scores, k, self.size)
 
 
 def retrieve_neighbors(
@@ -153,12 +520,21 @@ def retrieval_augmented_graph(
     measure: str = "cosine",
     columns: Optional[np.ndarray] = None,
     y: Optional[np.ndarray] = None,
+    index: object = "exact",
+    chunk_size: int = 2048,
+    **index_opts,
 ) -> Graph:
     """Connect every row to its top-k retrieved rows *inside the pool*.
 
     ``pool_mask`` marks the retrievable rows (typically the training set).
     Pool rows retrieve among the other pool rows; non-pool rows (val/test)
     retrieve from the pool only, so no information flows between test rows.
+
+    All retrieval — pool-side included — runs through one
+    :class:`PoolIndex` in ``chunk_size``-row query chunks (self-matches
+    masked per chunk), so peak memory is O(chunk·N) instead of the dense
+    O(N²) pairwise block, and ``index="ivf"`` drops the per-chunk scan to
+    O(chunk·√N·d) for the pools where N² was never an option.
     """
     x = np.asarray(x, dtype=np.float64)
     pool_mask = np.asarray(pool_mask, dtype=bool)
@@ -166,25 +542,30 @@ def retrieval_augmented_graph(
         raise ValueError("pool_mask must be a boolean vector over rows")
     view = x if columns is None else x[:, columns]
     pool_idx = np.nonzero(pool_mask)[0]
-    if len(pool_idx) <= k:
+    n_pool = len(pool_idx)
+    if n_pool <= k:
         raise ValueError("pool must contain more than k rows")
+    pool_view = view[pool_idx]
+    pool_index = PoolIndex(pool_view, measure, backend=index, **index_opts)
+    chunk = max(1, int(chunk_size))
 
     sources: list[np.ndarray] = []
     targets: list[np.ndarray] = []
-    # Pool rows: retrieve among pool excluding self.
-    sim = pairwise_similarity(view[pool_idx], measure)
-    np.fill_diagonal(sim, -np.inf)
-    top = np.argpartition(sim, kth=len(pool_idx) - k - 1, axis=1)[:, -k:]
-    for local, node in enumerate(pool_idx):
-        sources.append(pool_idx[top[local]])
-        targets.append(np.full(k, node, dtype=np.int64))
+    # Pool rows: retrieve among pool excluding self (chunked scans).
+    for start in range(0, n_pool, chunk):
+        stop = min(start + chunk, n_pool)
+        neighbors = pool_index.top_k(
+            pool_view[start:stop], k, exclude=np.arange(start, stop)
+        )
+        sources.append(pool_idx[neighbors.reshape(-1)])
+        targets.append(np.repeat(pool_idx[start:stop], k))
     # Query rows: retrieve from pool.
     query_idx = np.nonzero(~pool_mask)[0]
-    if query_idx.size:
-        neighbors = retrieve_neighbors(view[query_idx], view[pool_idx], k, measure)
-        for local, node in enumerate(query_idx):
-            sources.append(pool_idx[neighbors[local]])
-            targets.append(np.full(k, node, dtype=np.int64))
+    for start in range(0, query_idx.size, chunk):
+        rows = query_idx[start:start + chunk]
+        neighbors = pool_index.top_k(view[rows], k)
+        sources.append(pool_idx[neighbors.reshape(-1)])
+        targets.append(np.repeat(rows, k))
     edge_index = np.stack([np.concatenate(sources), np.concatenate(targets)])
     edge_index, _ = symmetrize_edge_index(edge_index.astype(np.int64))
     return Graph(x.shape[0], edge_index, x=x, y=y)

@@ -10,6 +10,7 @@ propagate, O(B·k·d) per request for every network in the zoo.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -31,7 +32,23 @@ class InstanceScorer(RowScorer):
     activations at construction and propagates only the query rows per
     request; ``incremental=False`` keeps the full-graph rebuild purely as a
     correctness oracle.
+
+    Retrieval rides a pluggable :class:`~repro.construction.PoolIndex`
+    backend: ``index="exact"`` (default) is the exhaustive scan,
+    ``index="ivf"`` the sub-linear inverted-file index (``nprobe`` probed
+    cells per query).  Selection resolves engine kwarg > artifact config
+    (``config["index"]`` / ``config["nprobe"]``) > exact.  The scorer
+    reports the live backend (``self.index`` — "exact" when an exotic
+    measure forced the fallback), the one-time build cost
+    (``self.index_build_ms``) and, for approximate backends, a sampled
+    recall-vs-exact gauge (``self.retrieval_recall``, refreshed every
+    ``_RECALL_EVERY``-th attach on a few rows of the live batch).
     """
+
+    #: refresh the sampled recall gauge on every Nth attach stage.
+    _RECALL_EVERY = 64
+    #: how many rows of the sampled batch are re-ranked exactly.
+    _RECALL_ROWS = 4
 
     def __init__(
         self,
@@ -39,6 +56,8 @@ class InstanceScorer(RowScorer):
         fitted: "FittedInstance",
         incremental: Optional[bool],
         stats: Dict[str, int],
+        index: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> None:
         self._artifact = artifact
         self._graph = fitted.graph
@@ -47,9 +66,29 @@ class InstanceScorer(RowScorer):
         self._pool_x = np.asarray(fitted.graph.x, dtype=np.float64)
         self._pool_edges = fitted.graph.edge_index.astype(np.int64)
         self._k = min(int(fitted.config["k"]), self._pool_x.shape[0])
+        if index is None:
+            index = str(fitted.config.get("index", "exact"))
+        if nprobe is None and fitted.config.get("nprobe") is not None:
+            nprobe = int(fitted.config["nprobe"])
+        if index == "exact":
+            nprobe = None  # the exhaustive scan has no probe budget
+        backend_opts = {} if nprobe is None else {"nprobe": int(nprobe)}
+        started = time.perf_counter()
         self._pool_index = PoolIndex(
-            self._pool_x, measure=str(fitted.config.get("metric", "euclidean"))
+            self._pool_x,
+            measure=str(fitted.config.get("metric", "euclidean")),
+            backend=index,
+            **backend_opts,
         )
+        self.index_build_ms = (time.perf_counter() - started) * 1000.0
+        self.index = self._pool_index.backend_name
+        self.nprobe = int(nprobe) if nprobe is not None else None
+        self.retrieval_recall: Optional[float] = None
+        self._attach_tick = 0
+        if self._pool_index.is_approximate:
+            stats.setdefault("retrieval_probed_cells", 0)
+            stats.setdefault("retrieval_candidates", 0)
+            self.retrieval_recall = 1.0
         self.incremental = True if incremental is None else bool(incremental)
         if self.incremental:
             # One model for the scorer's lifetime, built on the pool graph,
@@ -90,6 +129,8 @@ class InstanceScorer(RowScorer):
         with self.stage("attach"):
             neighbors = self._pool_index.top_k(features, self._k)
             self._stats["attach_edges"] += int(neighbors.size)
+            if self._pool_index.is_approximate:
+                self._observe_retrieval(features, neighbors)
         if self._compiled is not None:
             with self.stage("plan_execute"):
                 return self._compiled.run(features, neighbors)
@@ -99,6 +140,31 @@ class InstanceScorer(RowScorer):
                     features, neighbors, self.pool_hiddens
                 )
             return self._forward_full(features, neighbors)
+
+    def _observe_retrieval(
+        self, features: np.ndarray, neighbors: np.ndarray
+    ) -> None:
+        """Sync approximate-retrieval counters and the sampled recall gauge.
+
+        Runs under the engine lock (``score`` always does), so the stats
+        writes are consistent with the engine's own counters.  The probe
+        counters mirror the :class:`PoolIndex` cumulative stats; recall is
+        re-measured on a few rows of every ``_RECALL_EVERY``-th batch by
+        re-ranking them through the exact oracle — cheap enough to stay in
+        the hot path, fresh enough to catch a drifting index.
+        """
+        probe_stats = self._pool_index.stats
+        self._stats["retrieval_probed_cells"] = int(probe_stats["probed_cells"])
+        self._stats["retrieval_candidates"] = int(probe_stats["candidates"])
+        self._attach_tick += 1
+        if (self._attach_tick - 1) % self._RECALL_EVERY:
+            return
+        rows = min(self._RECALL_ROWS, features.shape[0])
+        exact = self._pool_index.exact_top_k(features[:rows], self._k)
+        hits = sum(
+            len(set(neighbors[i]) & set(exact[i])) for i in range(rows)
+        )
+        self.retrieval_recall = hits / float(rows * self._k)
 
     def compile_plan(self):
         if not self.incremental:
@@ -159,8 +225,12 @@ class FittedInstance(FittedFormulation):
         graph = Graph(x.shape[0], arrays["edge_index"].astype(np.int64), x=x)
         return cls(graph, preprocessor, config)
 
-    def make_scorer(self, artifact, incremental, stats) -> InstanceScorer:
-        return InstanceScorer(artifact, self, incremental, stats)
+    def make_scorer(
+        self, artifact, incremental, stats, index=None, nprobe=None
+    ) -> InstanceScorer:
+        return InstanceScorer(
+            artifact, self, incremental, stats, index=index, nprobe=nprobe
+        )
 
 
 class InstanceFormulation(Formulation):

@@ -44,6 +44,7 @@ coalescing worthwhile under skewed traffic.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import threading
 import time
@@ -68,6 +69,8 @@ _STAT_HELP = {
     "forward_rows": "Distinct rows scored by forward passes.",
     "unk_values": "Lookups that landed in the UNK bucket.",
     "attach_edges": "Pool attach edges created for query rows.",
+    "retrieval_probed_cells": "IVF cells probed by approximate retrieval.",
+    "retrieval_candidates": "Candidate rows re-ranked by approximate retrieval.",
 }
 
 
@@ -117,6 +120,22 @@ class InferenceEngine:
         incremental paths were already O(B·k·d) / O(B·columns·d)); the
         constant factor drops because each request now executes only the
         query-dependent kernels.
+    index / nprobe:
+        Retrieval-index selection for formulations that attach queries by
+        pool retrieval (the instance formulation): ``index="exact"`` keeps
+        the exhaustive scan, ``index="ivf"`` serves the sub-linear
+        inverted-file index with ``nprobe`` probed cells per query (see
+        :mod:`repro.construction.retrieval`).  ``None`` (default) defers
+        to the artifact config (``config["index"]``/``config["nprobe"]``),
+        falling back to exact — so existing artifacts serve bit-identically.
+        Explicit values are refused with ``ValueError`` when the
+        formulation's scorer takes no ``index`` argument (nothing to
+        retrieve from).  ``self.index`` reports the live backend (exact
+        after an exotic-measure fallback), ``self.nprobe`` the probe
+        budget, ``self.index_build_ms`` the one-time build cost; the
+        ``repro_engine_retrieval_*`` counters and the sampled
+        ``repro_engine_retrieval_recall`` gauge land in the registry when
+        an approximate index serves.
 
     Notes
     -----
@@ -152,6 +171,8 @@ class InferenceEngine:
         observability: bool = True,
         trace_every: int = 32,
         compiled: bool = True,
+        index: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -168,8 +189,31 @@ class InferenceEngine:
             self._tracer = None
             self._request_hists = {}
             self._trace_every = 0
-        self._scorer = artifact.fitted.make_scorer(artifact, incremental, self.stats)
+        make_scorer = artifact.fitted.make_scorer
+        scorer_kwargs = {}
+        if index is not None or nprobe is not None:
+            # Plug-in formulations keep the original 3-argument make_scorer
+            # signature; only pass index kwargs where they are understood,
+            # and refuse explicit requests a formulation cannot honor.
+            params = inspect.signature(make_scorer).parameters
+            accepts_index = "index" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+            if not accepts_index:
+                raise ValueError(
+                    f"formulation {artifact.formulation!r} does not retrieve "
+                    "from a pool; index/nprobe selection does not apply"
+                )
+            scorer_kwargs = {"index": index, "nprobe": nprobe}
+        self._scorer = make_scorer(
+            artifact, incremental, self.stats, **scorer_kwargs
+        )
         self.incremental = bool(self._scorer.incremental)
+        #: live retrieval-index backend ("exact"/"ivf"), or None for
+        #: formulations that do not retrieve from a pool.
+        self.index: Optional[str] = getattr(self._scorer, "index", None)
+        self.nprobe: Optional[int] = getattr(self._scorer, "nprobe", None)
+        self.index_build_ms = float(getattr(self._scorer, "index_build_ms", 0.0))
         self.compiled = False
         self.compile_ms = 0.0
         if compiled:
@@ -252,6 +296,16 @@ class InferenceEngine:
         ).labels(**labels).set_function(
             lambda: 1.0 if self.compiled else 0.0
         )
+        scorer = self._scorer
+        if getattr(scorer, "retrieval_recall", None) is not None:
+            self.registry.gauge(
+                "repro_engine_retrieval_recall",
+                "Sampled recall@k of the approximate retrieval index "
+                "against the exact scan.",
+                labelnames=("formulation",),
+            ).labels(**labels).set_function(
+                lambda: float(scorer.retrieval_recall)
+            )
 
     # ------------------------------------------------------------------
     def _root_span(self, name: str):

@@ -97,6 +97,8 @@ class PredictionServer:
         max_body_bytes: int = 1 << 20,
         access_log: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        index: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
@@ -107,7 +109,8 @@ class PredictionServer:
         #: metrics all land here, so ``GET /metrics`` is a single scrape.
         self.registry = registry if registry is not None else MetricsRegistry()
         self.engine = InferenceEngine(
-            artifact, cache_size=cache_size, registry=self.registry
+            artifact, cache_size=cache_size, registry=self.registry,
+            index=index, nprobe=nprobe,
         )
         self.batcher = MicroBatcher(
             self.engine, max_batch_size=max_batch_size, max_delay_ms=max_delay_ms,
@@ -285,12 +288,15 @@ class PredictionServer:
         """Liveness plus which inference path this deployment runs.
 
         ``formulation``/``network``/``schema_version``/``incremental``/
-        ``compiled``/``pool_rows`` are surfaced at the top level so
-        operators can verify what a deployment serves — which formulation
-        and artifact schema, whether requests ride a cached-pool
-        incremental path, and whether the compiled plan (vs the
-        interpreted autograd path) executes them — without digging
-        through the artifact summary.  Engine and batcher stats are
+        ``compiled``/``index``/``pool_rows`` are surfaced at the top level
+        so operators can verify what a deployment serves — which
+        formulation and artifact schema, whether requests ride a
+        cached-pool incremental path, whether the compiled plan (vs the
+        interpreted autograd path) executes them, and which retrieval
+        index backend attaches queries (``index``/``nprobe``/
+        ``index_build_ms``; ``index`` is ``null`` for formulations that do
+        not retrieve from a pool) — without digging through the artifact
+        summary.  Engine and batcher stats are
         *locked snapshots* (consistent under concurrent predicts), not
         reads of the live dicts.
         """
@@ -302,6 +308,9 @@ class PredictionServer:
             "incremental": bool(self.engine.incremental),
             "compiled": bool(self.engine.compiled),
             "compile_ms": float(self.engine.compile_ms),
+            "index": self.engine.index,
+            "nprobe": self.engine.nprobe,
+            "index_build_ms": float(self.engine.index_build_ms),
             "pool_rows": self.artifact.pool_rows,
             "artifact": self.artifact.summary(),
             "engine": self.engine.snapshot(),
@@ -398,6 +407,13 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--max-body-bytes", type=int, default=1 << 20,
                         help="reject request bodies larger than this (HTTP 413)")
+    parser.add_argument("--index", choices=("exact", "ivf"), default=None,
+                        help="retrieval index backend for pool-attach "
+                             "formulations (default: artifact config, else "
+                             "the exact scan)")
+    parser.add_argument("--nprobe", type=int, default=None,
+                        help="IVF cells probed per query (recall/latency "
+                             "knob; only meaningful with --index ivf)")
     parser.add_argument("--log-level", choices=("info", "quiet"), default="info",
                         help="info: one structured JSON access-log line per "
                              "request on stderr; quiet: no request logging")
@@ -414,16 +430,21 @@ def main(argv=None) -> int:
         access_logger.addHandler(handler)
         access_logger.setLevel(logging.INFO)
         access_logger.propagate = False
-    server = PredictionServer(
-        artifact,
-        host=args.host,
-        port=args.port,
-        max_batch_size=args.max_batch_size,
-        max_delay_ms=args.max_delay_ms,
-        cache_size=args.cache_size,
-        max_body_bytes=args.max_body_bytes,
-        access_log=access_log,
-    )
+    try:
+        server = PredictionServer(
+            artifact,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_delay_ms=args.max_delay_ms,
+            cache_size=args.cache_size,
+            max_body_bytes=args.max_body_bytes,
+            access_log=access_log,
+            index=args.index,
+            nprobe=args.nprobe,
+        )
+    except ValueError as exc:  # e.g. --index on a non-retrieval formulation
+        parser.error(str(exc))
     summary = ", ".join(f"{k}={v}" for k, v in artifact.summary().items())
     print(f"serving {summary}")
     print(f"listening on {server.url}  "

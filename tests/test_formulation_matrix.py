@@ -191,6 +191,87 @@ def test_compiled_plan_matches_interpreted_scorer(form, network, dataset, traine
         assert compiled.stats.get(key) == interpreted.stats.get(key), key
 
 
+@pytest.mark.parametrize("network", INSTANCE_NETWORKS)
+def test_ivf_served_prediction_drift_bounded(network, dataset, trained):
+    # The ANN acceptance bound: probabilities served through the IVF
+    # retrieval index stay within 1e-3 of the exact index on the fuzz
+    # rows.  The 140-row fuzz pool quantizes into ~12 cells and a missed
+    # true neighbor moves a tiny pool's probabilities well past 1e-3, so
+    # nprobe covers the full quantizer — certifying the whole IVF serve
+    # path (coarse probing, CSR cell gather, subset re-ranking, counter
+    # export) under the drift bound; the recall/latency tradeoff at
+    # 10⁵–10⁶-row pools is enforced in bench_serving_throughput.py.
+    artifact = trained("instance", network).export_artifact()
+    exact = InferenceEngine(artifact, cache_size=0, index="exact")
+    ivf = InferenceEngine(artifact, cache_size=0, index="ivf", nprobe=12)
+    assert ivf.index == "ivf" and ivf.nprobe == 12
+    assert ivf.index_build_ms > 0.0
+    rng = _cell_rng("instance", network)
+
+    idx = rng.choice(dataset.num_instances, size=12, replace=False)
+    numerical = dataset.numerical[idx] + rng.normal(
+        0.0, 0.5, (idx.size, dataset.num_numerical)
+    )
+    categorical = dataset.categorical[idx].copy()
+    numerical[rng.random(numerical.shape) < 0.25] = np.nan
+    categorical[rng.random(categorical.shape) < 0.25] = -1
+
+    drift = np.abs(
+        np.asarray(ivf.predict_batch(numerical, categorical))
+        - np.asarray(exact.predict_batch(numerical, categorical))
+    ).max()
+    assert drift <= 1e-3, f"{network}: IVF served drift {drift:.2e} > 1e-3"
+    assert ivf.stats["retrieval_probed_cells"] > 0
+    assert ivf.stats["retrieval_candidates"] > 0
+
+
+@pytest.mark.parametrize("network", INSTANCE_NETWORKS)
+def test_exact_index_stays_bit_identical(network, dataset, trained):
+    # index="exact" (and the default, which resolves to it) must not move
+    # a single bit relative to an engine that never heard of index
+    # selection — the guarantee that shipping the ANN backend changed
+    # nothing for existing deployments.
+    artifact = trained("instance", network).export_artifact()
+    default = InferenceEngine(artifact, cache_size=0)
+    explicit = InferenceEngine(artifact, cache_size=0, index="exact")
+    assert default.index == "exact" and explicit.index == "exact"
+    assert not default._scorer._pool_index.is_approximate
+    rng = _cell_rng("instance", network)
+
+    idx = rng.choice(dataset.num_instances, size=12, replace=False)
+    numerical = dataset.numerical[idx] + rng.normal(
+        0.0, 0.5, (idx.size, dataset.num_numerical)
+    )
+    categorical = dataset.categorical[idx]
+    assert np.array_equal(
+        default.predict_batch(numerical, categorical),
+        explicit.predict_batch(numerical, categorical),
+    )
+
+
+def test_artifact_config_selects_index_without_engine_kwargs(dataset, trained):
+    # The ModelArtifact path: a deployment can bake index selection into
+    # the artifact config; an engine constructed with no kwargs honors it
+    # (explicit engine kwargs still win).
+    artifact = trained("instance", "gcn").export_artifact()
+    artifact.fitted.config["index"] = "ivf"
+    artifact.fitted.config["nprobe"] = 6
+    engine = InferenceEngine(artifact, cache_size=0)
+    assert engine.index == "ivf" and engine.nprobe == 6
+    override = InferenceEngine(artifact, cache_size=0, index="exact")
+    assert override.index == "exact"
+    del artifact.fitted.config["index"]
+    del artifact.fitted.config["nprobe"]
+
+
+def test_non_retrieval_formulation_rejects_index_selection(trained):
+    artifact = trained("multiplex", "default").export_artifact()
+    with pytest.raises(ValueError, match="does not retrieve"):
+        InferenceEngine(artifact, index="ivf")
+    engine = InferenceEngine(artifact)
+    assert engine.index is None and engine.nprobe is None
+
+
 def test_hypergraph_round_trip_without_continuous_columns(tmp_path):
     # Regression: a dataset with no binned numerical columns persists an
     # *empty* bin_edges array; the artifact must still reload and serve

@@ -1,0 +1,203 @@
+"""Pluggable ``PoolIndex`` backends: exact-scan parity, IVF recall, fallback.
+
+The exact backend must stay bit-identical to the historical exhaustive
+scan (it is the serving default and the parity oracle everything else is
+measured against); the IVF backend trades an ``nprobe`` budget for
+sub-linear scans and is held to seeded recall@k floors across every
+supported measure.  The backend registry is the extension point a future
+HNSW/LSH plug-in rides — covered by registering a fake backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.construction.retrieval import (
+    INDEX_BACKENDS,
+    ExactIndexBackend,
+    IVFIndexBackend,
+    PoolIndex,
+    register_index_backend,
+    retrieval_augmented_graph,
+)
+from repro.construction.rules import SIMILARITIES
+
+MEASURES = ["cosine", "euclidean", "rbf", "heat", "inner", "pearson"]
+
+
+def _clustered(rng, n, d=8, centers=12, spread=3.0):
+    mu = rng.normal(0.0, spread, (centers, d))
+    return mu[rng.integers(0, centers, n)] + rng.normal(0.0, 1.0, (n, d))
+
+
+def _recall(approx, exact):
+    k = exact.shape[1]
+    hits = sum(
+        len(set(approx[i]) & set(exact[i])) for i in range(exact.shape[0])
+    )
+    return hits / float(exact.shape[0] * k)
+
+
+class TestExactBackendParity:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_exact_backend_bit_identical_to_default(self, measure):
+        rng = np.random.default_rng(0)
+        pool = rng.normal(size=(60, 7))
+        queries = rng.normal(size=(9, 7))
+        default = PoolIndex(pool, measure)
+        explicit = PoolIndex(pool, measure, backend="exact")
+        np.testing.assert_array_equal(
+            default.top_k(queries, 5), explicit.top_k(queries, 5)
+        )
+        np.testing.assert_array_equal(
+            explicit.top_k(queries, 5), explicit.exact_top_k(queries, 5)
+        )
+        assert explicit.backend_name == "exact"
+        assert not explicit.is_approximate
+
+    def test_exclude_masks_self_matches(self):
+        rng = np.random.default_rng(1)
+        pool = rng.normal(size=(50, 5))
+        exclude = np.arange(10)
+        for backend in ("exact", "ivf"):
+            index = PoolIndex(pool, "euclidean", backend=backend)
+            neighbors = index.top_k(pool[:10], 4, exclude=exclude)
+            assert not np.any(neighbors == exclude[:, None]), backend
+        # without exclusion a pool row retrieves itself first
+        index = PoolIndex(pool, "euclidean")
+        assert np.array_equal(index.top_k(pool[:10], 1)[:, 0], exclude)
+
+    def test_exclude_k_bound(self):
+        index = PoolIndex(np.eye(4))
+        with pytest.raises(ValueError):
+            index.top_k(np.eye(4), 4, exclude=np.arange(4))
+
+
+class TestIVFBackend:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_recall_at_k_across_measures(self, measure):
+        rng = np.random.default_rng(7)
+        pool = _clustered(rng, 2000)
+        queries = _clustered(rng, 32)
+        exact = PoolIndex(pool, measure)
+        ivf = PoolIndex(pool, measure, backend="ivf", nprobe=8)
+        assert ivf.backend_name == "ivf" and ivf.is_approximate
+        recall = _recall(ivf.top_k(queries, 10), exact.top_k(queries, 10))
+        assert recall >= 0.9, f"{measure}: recall@10 {recall:.3f} < 0.9"
+
+    def test_full_probe_matches_exact_sets(self):
+        # nprobe >= nlist probes every cell: the candidate set is the whole
+        # pool, so the neighbor *sets* must equal the exact scan's.
+        rng = np.random.default_rng(3)
+        pool = _clustered(rng, 400)
+        queries = _clustered(rng, 16)
+        ivf = PoolIndex(pool, "cosine", backend="ivf", nprobe=10_000)
+        exact_sets = PoolIndex(pool, "cosine").top_k(queries, 8)
+        assert _recall(ivf.top_k(queries, 8), exact_sets) == 1.0
+
+    def test_widens_probe_when_candidates_short(self):
+        # k close to the pool size forces probing past nprobe cells until
+        # enough candidates accumulate — results must stay valid and unique.
+        rng = np.random.default_rng(4)
+        pool = _clustered(rng, 40, centers=20)
+        ivf = PoolIndex(pool, "euclidean", backend="ivf", nprobe=1)
+        neighbors = ivf.top_k(_clustered(rng, 5), 35)
+        assert neighbors.shape == (5, 35)
+        for row in neighbors:
+            assert len(set(row.tolist())) == 35
+            assert row.min() >= 0 and row.max() < 40
+
+    def test_exotic_measure_falls_back_to_exact(self, monkeypatch):
+        def weird(x, **kwargs):
+            return -np.abs(x[:, None, 0] - x[None, :, 0])
+
+        monkeypatch.setitem(SIMILARITIES, "weird", weird)
+        rng = np.random.default_rng(5)
+        pool = rng.normal(size=(30, 4))
+        queries = rng.normal(size=(6, 4))
+        ivf = PoolIndex(pool, "weird", backend="ivf")
+        assert ivf.backend_name == "exact" and not ivf.is_approximate
+        np.testing.assert_array_equal(
+            ivf.top_k(queries, 5), ivf.exact_top_k(queries, 5)
+        )
+
+    def test_probe_stats_accumulate(self):
+        rng = np.random.default_rng(6)
+        ivf = PoolIndex(_clustered(rng, 500), "euclidean", backend="ivf")
+        assert ivf.stats == {"queries": 0, "probed_cells": 0, "candidates": 0}
+        ivf.top_k(_clustered(rng, 8), 5)
+        assert ivf.stats["queries"] == 8
+        assert ivf.stats["probed_cells"] >= 8
+        assert ivf.stats["candidates"] >= 8 * 5
+
+    def test_seeded_build_is_deterministic(self):
+        rng = np.random.default_rng(8)
+        pool = _clustered(rng, 1500)
+        queries = _clustered(rng, 12)
+        a = PoolIndex(pool, "euclidean", backend="ivf")
+        b = PoolIndex(pool, "euclidean", backend="ivf")
+        np.testing.assert_array_equal(a.top_k(queries, 10), b.top_k(queries, 10))
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert INDEX_BACKENDS["exact"] is ExactIndexBackend
+        assert INDEX_BACKENDS["ivf"] is IVFIndexBackend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown index backend"):
+            PoolIndex(np.eye(4), backend="hnsw")
+
+    def test_plugin_backend_needs_no_pool_index_edits(self, monkeypatch):
+        # The protocol a future HNSW/LSH backend implements: build(index)
+        # returning self, top_k(queries, k, exclude) returning (B, k) ids.
+        calls = {}
+
+        class FirstK:
+            name = "first_k"
+
+            def build(self, index):
+                calls["built"] = index
+                return self
+
+            def top_k(self, queries, k, exclude=None):
+                n = np.asarray(queries).shape[0]
+                return np.tile(np.arange(k, dtype=np.int64), (n, 1))
+
+        monkeypatch.delitem(INDEX_BACKENDS, "first_k", raising=False)
+        register_index_backend("first_k", FirstK)
+        index = PoolIndex(np.eye(6), backend="first_k")
+        assert calls["built"] is index
+        assert index.backend_name == "first_k"
+        np.testing.assert_array_equal(
+            index.top_k(np.eye(6)[:2], 3),
+            [[0, 1, 2], [0, 1, 2]],
+        )
+        del INDEX_BACKENDS["first_k"]
+
+
+class TestRetrievalAugmentedGraphChunking:
+    @pytest.mark.parametrize("measure", ["cosine", "euclidean", "rbf"])
+    def test_chunked_build_matches_unchunked(self, measure):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(150, 6))
+        pool_mask = np.zeros(150, dtype=bool)
+        pool_mask[:100] = True
+        big = retrieval_augmented_graph(
+            x, pool_mask, k=5, measure=measure, chunk_size=10_000
+        )
+        small = retrieval_augmented_graph(
+            x, pool_mask, k=5, measure=measure, chunk_size=17
+        )
+        np.testing.assert_array_equal(big.edge_index, small.edge_index)
+
+    def test_ivf_graph_build_close_to_exact(self):
+        rng = np.random.default_rng(10)
+        x = _clustered(rng, 400)
+        pool_mask = np.zeros(400, dtype=bool)
+        pool_mask[:300] = True
+        exact = retrieval_augmented_graph(x, pool_mask, k=5, measure="cosine")
+        ivf = retrieval_augmented_graph(
+            x, pool_mask, k=5, measure="cosine", index="ivf", nprobe=10_000
+        )
+        # full probe -> identical neighbor sets -> identical symmetrized graph
+        np.testing.assert_array_equal(exact.edge_index, ivf.edge_index)

@@ -367,6 +367,32 @@ class TestPredictionServer:
             assert health["incremental"] is True
             assert health["pool_rows"] == artifact.pool_x.shape[0]
 
+    def test_healthz_reports_retrieval_index(self, instance_result):
+        dataset, result = instance_result
+        artifact = result.export_artifact()
+        with PredictionServer(artifact, port=0, index="ivf", nprobe=4) as server:
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as r:
+                health = json.loads(r.read())
+            assert health["index"] == "ivf"
+            assert health["nprobe"] == 4
+            assert health["index_build_ms"] > 0.0
+            body = json.dumps(
+                {"numerical": dataset.numerical[0].tolist()}
+            ).encode()
+            request = urllib.request.Request(server.url + "/predict", data=body)
+            urllib.request.urlopen(request, timeout=10).read()
+            with urllib.request.urlopen(server.url + "/metrics", timeout=10) as r:
+                text = r.read().decode()
+            assert 'repro_engine_retrieval_recall{formulation="instance"}' in text
+            assert "repro_engine_retrieval_probed_cells_total" in text
+            assert "repro_engine_retrieval_candidates_total" in text
+        # Default deployments keep (and report) the exact scan.
+        with PredictionServer(artifact, port=0) as server:
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as r:
+                health = json.loads(r.read())
+            assert health["index"] == "exact"
+            assert health["nprobe"] is None
+
     def test_shutdown_without_start_returns(self, feature_result):
         # Regression: BaseServer.shutdown() blocks on an event only
         # serve_forever sets; shutting down a constructed-but-never-started
@@ -454,3 +480,5 @@ class TestEntryPoints:
         )
         assert proc.returncode == 0
         assert "--artifact" in proc.stdout
+        assert "--index" in proc.stdout
+        assert "--nprobe" in proc.stdout
