@@ -26,7 +26,17 @@ example serves the same artifact through both:
    (``PredictionServer(..., index="ivf", nprobe=8)``), checking
    ``/healthz`` for the live ``index``/``nprobe``/``index_build_ms``
    and scraping the ``repro_engine_retrieval_*`` series from
-   ``/metrics`` — probe counters plus a sampled recall-vs-exact gauge.
+   ``/metrics`` — probe counters plus a sampled recall-vs-exact gauge;
+5. scale the same artifact out across **worker processes**
+   (``ScaleOutServer(path, workers=2)`` — the CLI spells it
+   ``gnn4tdl-serve --artifact model.npz --workers 2``): an async front
+   door dispatches to forked workers that memory-map one shared
+   read-only copy of the pool state, ``/healthz`` reports the fleet
+   (``workers``, ``artifact_generation``, ``artifact_sha``,
+   ``mmapped``), ``/metrics`` merges every worker's registry, and
+   ``POST /admin/reload`` hot-swaps to a new artifact with zero
+   downtime (new workers boot, routing switches atomically, the old
+   set drains behind its in-flight work).
 
 The backend registry is the extension point: a future HNSW/LSH backend
 implements ``build(index)`` / ``top_k(queries, k, exclude=None)``,
@@ -51,7 +61,12 @@ import numpy as np
 
 from repro.datasets import make_correlated_instances
 from repro.pipeline import run_pipeline
-from repro.serving import InferenceEngine, ModelArtifact, PredictionServer
+from repro.serving import (
+    InferenceEngine,
+    ModelArtifact,
+    PredictionServer,
+    ScaleOutServer,
+)
 
 # 1. Train an instance (retrieval-attach) pipeline.  The training table
 # becomes the frozen retrieval pool the served queries link into.
@@ -116,3 +131,41 @@ with tempfile.TemporaryDirectory() as tmp:
             if line.startswith(("repro_engine_retrieval",
                                 "repro_engine_attach_fanout")):
                 print("   ", line)
+
+    # 5. Scale out: the same artifact behind an async front door and two
+    # forked workers (`gnn4tdl-serve --artifact model.npz --workers 2`).
+    # Each worker memory-maps the npz, so the frozen pool occupies one
+    # physical copy however many workers serve it.
+    with ScaleOutServer(str(path), workers=2, port=0) as fleet:
+        request = urllib.request.Request(fleet.url + "/predict", data=body)
+        with urllib.request.urlopen(request) as response:
+            print("fleet /predict:    ", json.loads(response.read()))
+        with urllib.request.urlopen(fleet.url + "/healthz") as response:
+            health = json.loads(response.read())
+        print("fleet /healthz:    ", {k: health[k] for k in
+                                      ("status", "workers",
+                                       "artifact_generation", "mmapped")},
+              "sha:", health["artifact_sha"][:12])
+
+        # Zero-downtime hot swap: retrain (here: a different seed, i.e. a
+        # genuinely different model), save v2, and POST /admin/reload.
+        # New workers boot while the old set keeps serving; routing flips
+        # atomically once every new worker is ready; the old set drains
+        # behind its in-flight requests — no request is lost or errored.
+        v2 = run_pipeline(
+            make_correlated_instances(n=600, seed=1, cluster_strength=2.0),
+            formulation="instance", max_epochs=40, seed=1,
+        ).export_artifact().save(f"{tmp}/model_v2")
+        request = urllib.request.Request(
+            fleet.url + "/admin/reload",
+            data=json.dumps({"artifact": str(v2)}).encode(),
+        )
+        with urllib.request.urlopen(request) as response:
+            swap = json.loads(response.read())
+        print("hot swap:          ", {k: swap[k] for k in
+                                      ("status", "artifact_generation")},
+              "sha:", swap["artifact_sha"][:12])
+        with urllib.request.urlopen(
+            urllib.request.Request(fleet.url + "/predict", data=body)
+        ) as response:
+            print("post-swap /predict:", json.loads(response.read()))

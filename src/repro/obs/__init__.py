@@ -9,13 +9,19 @@ A dependency-free observability toolkit (stdlib + numpy only):
 * :class:`Tracer` / :class:`Span` — per-stage span timing that lands in a
   labeled stage-latency histogram, with per-thread span trees;
 * :class:`CounterBank` — a dict-compatible facade that migrates legacy
-  ``stats`` dicts onto the registry without breaking their call sites.
+  ``stats`` dicts onto the registry without breaking their call sites;
+* :func:`merge_snapshots` / :func:`render_snapshot_prometheus` —
+  cross-process aggregation: merge per-worker registry snapshots
+  (counters/histograms summed, gauges tagged per worker) and render the
+  result back to exposition text, so a multi-worker front door serves
+  one fleet-wide ``/metrics`` scrape.
 
 Wired through the hot path by :mod:`repro.serving` (``GET /metrics``,
 engine/batcher instrumentation, drift gauges) and available to training
 via ``Trainer(..., registry=...)`` / ``run_pipeline(..., registry=...)``.
 """
 
+from repro.obs.merge import merge_snapshots, render_snapshot_prometheus
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     SIZE_BUCKETS,
@@ -38,4 +44,6 @@ __all__ = [
     "SIZE_BUCKETS",
     "Span",
     "Tracer",
+    "merge_snapshots",
+    "render_snapshot_prometheus",
 ]

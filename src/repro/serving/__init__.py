@@ -19,7 +19,13 @@ request-serving:
 * :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
   concurrent single-row requests into vectorized engine calls;
 * :mod:`repro.serving.server` — :class:`PredictionServer`, a stdlib-only
-  JSON-over-HTTP endpoint (``python -m repro.serving --artifact model.npz``).
+  JSON-over-HTTP endpoint (``python -m repro.serving --artifact model.npz``)
+  with zero-downtime artifact hot swap (``POST /admin/reload``) and a
+  graceful 503-then-drain shutdown;
+* :mod:`repro.serving.scaleout` — :class:`ScaleOutServer`, the
+  multi-process deployment (``--workers N``): an async front door
+  dispatching to N forked workers that memory-map one shared read-only
+  copy of the artifact's pool state.
 
 Every layer reports into one :class:`repro.obs.MetricsRegistry`:
 ``GET /metrics`` exposes request/stage latency histograms, engine
@@ -51,4 +57,15 @@ __all__ = [
     "InferenceEngine",
     "MicroBatcher",
     "PredictionServer",
+    "ScaleOutServer",
 ]
+
+
+def __getattr__(name):
+    # ScaleOutServer is imported lazily: it drags in multiprocessing and
+    # the selectors loop, which embedded single-process users never need.
+    if name == "ScaleOutServer":
+        from repro.serving.scaleout import ScaleOutServer
+
+        return ScaleOutServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,6 +25,7 @@ them to the instance/feature payload layout they implied.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 from typing import Dict, Optional, Tuple, Union
@@ -65,6 +66,23 @@ class _SkipInitGenerator:
     @staticmethod
     def normal(loc=0.0, scale=1.0, size=None):
         return np.zeros(() if size is None else size)
+
+
+def _file_sha256(path: pathlib.Path, chunk_bytes: int = 1 << 20) -> str:
+    """Chunked SHA-256 of a file — the artifact's content identity.
+
+    Surfaced as ``artifact_sha`` on ``/healthz`` so operators can tell
+    *which* model bytes a deployment (or each worker generation after a
+    hot-swap) is actually serving.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _paths(path: Union[str, pathlib.Path]) -> Tuple[pathlib.Path, pathlib.Path]:
@@ -120,6 +138,13 @@ class ModelArtifact:
     payload_arrays: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
     payload_meta: Dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = ARTIFACT_SCHEMA_VERSION
+    #: Provenance, set by :meth:`save`/:meth:`load`: where the ``.npz``
+    #: lives and its SHA-256 (the ``artifact_sha`` on ``/healthz``).
+    source_path: Optional[pathlib.Path] = None
+    content_sha: Optional[str] = None
+    #: ``"r"`` when the arrays are read-only memmaps into the npz (scale-out
+    #: workers then share one physical copy); ``None`` for eager loads.
+    mmap_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._fitted = None
@@ -244,16 +269,36 @@ class ModelArtifact:
             "parameters": sorted(self.state_dict),
         }
         json_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+        self.source_path = npz_path
+        self.content_sha = _file_sha256(npz_path)
         return npz_path
 
     @classmethod
-    def load(cls, path: Union[str, pathlib.Path]) -> "ModelArtifact":
+    def load(
+        cls,
+        path: Union[str, pathlib.Path],
+        mmap_mode: Optional[str] = None,
+    ) -> "ModelArtifact":
         """Reload an artifact saved by :meth:`save` (pass either file).
 
         Legacy sidecars (no ``schema_version``) are upgraded in memory:
         their ``pool::`` arrays become the instance payload.  Sidecars
         declaring a schema this library does not know are rejected.
+
+        ``mmap_mode="r"`` memory-maps every array straight out of the
+        (uncompressed) ``.npz`` instead of copying it into private heap
+        memory (see :mod:`repro.serving.npz_mmap`).  The payload
+        rehydrators pass arrays through without copying, so the frozen
+        pool features / value-node states served by N scale-out worker
+        processes occupy **one** physical copy in the page cache.  Model
+        weights are still materialized per process (``load_state_dict``
+        copies), which is what makes the mapped arrays safely read-only.
         """
+        if mmap_mode not in (None, "r"):
+            raise ValueError(
+                f"mmap_mode={mmap_mode!r} unsupported; artifacts are frozen, "
+                "only read-only mapping (\"r\") makes sense"
+            )
         npz_path, json_path = _paths(path)
         if not npz_path.exists():
             raise FileNotFoundError(f"artifact arrays not found: {npz_path}")
@@ -261,8 +306,13 @@ class ModelArtifact:
             raise FileNotFoundError(f"artifact sidecar not found: {json_path}")
         sidecar = json.loads(json_path.read_text())
         declared = sidecar.get("schema_version")
-        with np.load(npz_path) as data:
-            arrays = {name: data[name] for name in data.files}
+        if mmap_mode == "r":
+            from repro.serving.npz_mmap import load_npz_mmap
+
+            arrays = load_npz_mmap(npz_path)
+        else:
+            with np.load(npz_path) as data:
+                arrays = {name: data[name] for name in data.files}
         if declared is not None and int(declared) not in (1, ARTIFACT_SCHEMA_VERSION):
             raise ValueError(
                 f"unknown artifact schema v{declared}; this library supports "
@@ -320,6 +370,9 @@ class ModelArtifact:
             payload_meta=payload_meta,
             metadata=sidecar.get("metadata", {}),
             schema_version=schema_version,
+            source_path=npz_path,
+            content_sha=_file_sha256(npz_path),
+            mmap_mode=mmap_mode,
         )
 
     def summary(self) -> Dict[str, object]:

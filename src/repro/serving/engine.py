@@ -340,6 +340,20 @@ class InferenceEngine:
         with self._lock:
             return dict(self.stats)
 
+    @staticmethod
+    def merge_snapshots(snapshots) -> Dict[str, float]:
+        """Sum per-process engine counter snapshots into fleet totals.
+
+        Engine stats are all monotonic counters, so summation is the
+        correct cross-worker aggregation — the scale-out front door uses
+        this to report one fleet-wide ``engine`` block on ``/healthz``.
+        """
+        merged: Dict[str, float] = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                merged[key] = merged.get(key, 0.0) + float(value)
+        return merged
+
     # ------------------------------------------------------------------
     @property
     def num_classes(self) -> int:

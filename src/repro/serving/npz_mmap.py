@@ -1,0 +1,123 @@
+"""Memory-mapped loading of ``.npz`` archives — shared pages across workers.
+
+``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for ``.npz``
+archives (it only maps bare ``.npy`` files), so a fleet of worker processes
+each calling :meth:`ModelArtifact.load` would hold N private copies of the
+frozen pool features, value-node states and retrieval representation —
+state that is read-only by construction and therefore free to share.
+
+This module does the mapping by hand.  ``np.savez`` writes an
+*uncompressed* zip (``ZIP_STORED``), so every member is a verbatim ``.npy``
+byte range inside the archive: parse the zip's local file header to find
+each member's data offset, parse the ``.npy`` header at that offset
+(format spec v1/v2/v3 — magic, version, header length, literal dict), and
+hand the remaining byte range to :class:`numpy.memmap`.  The resulting
+arrays are **read-only views over shared OS page-cache pages**: N workers
+mapping the same artifact touch one physical copy, and a write attempt
+raises instead of silently diverging a worker.
+
+Anything unexpected — a compressed member, an object dtype, a zero-size
+array (``mmap`` cannot map empty ranges) — falls back to an ordinary eager
+read of *that member only*, so the loader never does worse than
+``np.load``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import zipfile
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+_NPY_MAGIC = b"\x93NUMPY"
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+_LOCAL_HEADER_SIZE = 30  # fixed part of a zip local file header
+
+
+def _npy_header(
+    buf: bytes,
+) -> Tuple[np.dtype, bool, Tuple[int, ...], int]:
+    """Parse a ``.npy`` header from ``buf`` → (dtype, fortran, shape, size).
+
+    ``size`` is the total header length in bytes (magic + version + length
+    field + header text), i.e. the offset of the raw array data relative to
+    the start of the member.
+    """
+    if buf[:6] != _NPY_MAGIC:
+        raise ValueError("not a .npy member (bad magic)")
+    major = buf[6]
+    if major == 1:
+        header_len = int.from_bytes(buf[8:10], "little")
+        data_offset = 10 + header_len
+        header = buf[10:data_offset]
+    else:  # format 2.0 / 3.0: 4-byte little-endian header length
+        header_len = int.from_bytes(buf[8:12], "little")
+        data_offset = 12 + header_len
+        header = buf[12:data_offset]
+    if len(header) < header_len:
+        raise ValueError("truncated .npy header")
+    info = ast.literal_eval(header.decode("latin1"))
+    dtype = np.dtype(info["descr"])
+    return dtype, bool(info["fortran_order"]), tuple(info["shape"]), data_offset
+
+
+def _member_data_offset(raw, info: zipfile.ZipInfo) -> int:
+    """Absolute offset of ``info``'s data inside the archive file.
+
+    The local header's name/extra lengths can differ from the central
+    directory's, so they must be read from the local header itself.
+    """
+    raw.seek(info.header_offset)
+    header = raw.read(_LOCAL_HEADER_SIZE)
+    if header[:4] != _LOCAL_HEADER_SIGNATURE:
+        raise ValueError(f"bad zip local header for {info.filename!r}")
+    name_len = int.from_bytes(header[26:28], "little")
+    extra_len = int.from_bytes(header[28:30], "little")
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def load_npz_mmap(path: Union[str, pathlib.Path]) -> Dict[str, np.ndarray]:
+    """Load every array of an uncompressed ``.npz`` as a read-only memmap.
+
+    Returns the same ``{name: array}`` mapping ``np.load`` would, but each
+    eligible array is an ``np.memmap(mode="r")`` view into the archive —
+    zero-copy across processes mapping the same file.  Ineligible members
+    (compressed, object dtype, empty) are read eagerly and marked
+    read-only, so callers see uniform immutability either way.
+    """
+    path = pathlib.Path(path)
+    out: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        with open(path, "rb") as raw:
+            for info in archive.infolist():
+                name = info.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                array = None
+                if info.compress_type == zipfile.ZIP_STORED:
+                    try:
+                        data_start = _member_data_offset(raw, info)
+                        raw.seek(data_start)
+                        dtype, fortran, shape, npy_header_size = _npy_header(
+                            raw.read(1 << 16)
+                        )
+                        if not dtype.hasobject and int(np.prod(shape)) > 0:
+                            array = np.memmap(
+                                path,
+                                dtype=dtype,
+                                mode="r",
+                                offset=data_start + npy_header_size,
+                                shape=shape,
+                                order="F" if fortran else "C",
+                            )
+                    except (ValueError, OSError):
+                        array = None  # fall back to the eager read below
+                if array is None:
+                    with archive.open(name) as member:
+                        array = np.lib.format.read_array(
+                            member, allow_pickle=False
+                        )
+                    array.flags.writeable = False
+                out[key] = array
+    return out

@@ -1,0 +1,39 @@
+"""Multi-process scale-out serving: async front door + worker fleet.
+
+``gnn4tdl-serve --artifact model.npz --workers N`` runs this deployment:
+
+* :mod:`~repro.serving.scaleout.frontdoor` — a :mod:`selectors`-based
+  async HTTP front door that parses requests and dispatches to workers
+  over a length-prefixed frame protocol; also the hot-swap
+  (``POST /admin/reload`` / SIGHUP) and fleet-aggregation
+  (``/healthz`` / ``/metrics``) brain.
+* :mod:`~repro.serving.scaleout.worker` — one forked process per worker,
+  each owning a full engine against a **memory-mapped read-only** load of
+  the artifact, so the fleet shares one physical copy of the pool state.
+* :mod:`~repro.serving.scaleout.protocol` — the framing layer.
+
+``--workers 0`` keeps the single-process
+:class:`~repro.serving.PredictionServer`, which stays the correctness
+oracle: both paths score through
+:func:`repro.serving.server.execute_predict`.
+"""
+
+from repro.serving.scaleout.frontdoor import ScaleOutServer
+from repro.serving.scaleout.protocol import (
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.serving.scaleout.worker import worker_main
+
+__all__ = [
+    "FrameDecoder",
+    "ProtocolError",
+    "ScaleOutServer",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+    "worker_main",
+]

@@ -1,0 +1,1110 @@
+"""Async front door for multi-process scale-out serving.
+
+One :mod:`selectors` event loop owns every socket: the HTTP listener,
+client connections, and one socketpair per worker process.  The loop
+never scores rows — it parses just enough HTTP to route, forwards the
+raw request body to a worker over the length-prefixed frame protocol
+(:mod:`repro.serving.scaleout.protocol`), and writes the worker's reply
+back as the HTTP response.  All row-handling CPU therefore lands on the
+workers, which each own a full engine against a **memory-mapped,
+read-only** load of the artifact — N workers, one physical copy of the
+pool state.
+
+Routes (wire-compatible with the single-process
+:class:`~repro.serving.PredictionServer`):
+
+* ``POST /predict`` — round-robin dispatch to a ready worker; the body is
+  forwarded opaquely and the worker's JSON reply is returned verbatim.
+* ``GET /healthz`` / ``/health`` — fan-out ``health`` to every ready
+  worker; reports ``workers``, ``artifact_generation``, ``artifact_sha``,
+  a fleet-summed ``engine`` block
+  (:meth:`InferenceEngine.merge_snapshots`) and per-worker detail.
+* ``GET /metrics`` — fan-out ``metrics``; per-worker registry snapshots
+  are merged (:func:`repro.obs.merge_snapshots` — counters/histograms
+  summed, gauges tagged ``worker="i"``) and rendered next to the front
+  door's own HTTP metrics: one scrape covers the fleet.
+* ``POST /admin/reload`` — **zero-downtime hot swap**: a fresh worker set
+  is forked against the (possibly new) artifact path and boots *while the
+  old set keeps serving*; only when every new worker reports ready does
+  routing switch, after which the old set drains — the FIFO frame
+  protocol guarantees every already-dispatched predict is answered before
+  the worker honors its ``drain`` — and exits.  A failed boot leaves the
+  old set serving and returns 500.  ``SIGHUP`` triggers the same swap
+  from the command line.
+
+While a worker set is booting at startup, ``/predict`` answers 503 with a
+structured JSON body; likewise when every worker has died.  Worker death
+mid-request fails only the requests pinned to that worker (503) and drops
+the worker from rotation.
+
+Linux/POSIX only (fork + ``socket.socketpair``); the single-process
+server remains the portable path.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import MetricsRegistry, merge_snapshots, render_snapshot_prometheus
+from repro.serving.scaleout.protocol import (
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+from repro.serving.server import _DRAIN_LIMIT, access_logger
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+_MAX_HEADER_BYTES = 1 << 14
+
+
+def _resolve_artifact(path: str) -> Optional[str]:
+    """Resolve a user-supplied artifact path the way ``ModelArtifact.load``
+    does (``model`` / ``model.json`` → ``model.npz``); None if missing."""
+    from repro.serving.artifact import _paths
+
+    npz_path, _ = _paths(path)
+    if not npz_path.exists():
+        return None
+    return os.path.abspath(str(npz_path))
+
+
+class _Conn:
+    """One client connection's parse/response state."""
+
+    __slots__ = (
+        "sock", "addr", "inbuf", "outbuf", "busy", "closed",
+        "close_after_write", "half_closed", "close_deadline", "discard",
+        "expect_body", "req_method", "req_path", "req_keep_alive",
+        "req_started",
+    )
+
+    def __init__(self, sock: socket.socket, addr) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.busy = False            # a dispatched request awaits a reply
+        self.closed = False
+        self.close_after_write = False
+        self.half_closed = False     # FIN sent, draining client bytes
+        self.close_deadline = 0.0
+        self.discard = 0             # oversized-body bytes left to consume
+        self.expect_body = 0         # body bytes the parsed head announced
+        self.req_method = ""
+        self.req_path = ""
+        self.req_keep_alive = True
+        self.req_started = 0.0
+
+
+class _Worker:
+    """Front-door handle for one worker process."""
+
+    __slots__ = (
+        "id", "proc", "sock", "generation", "decoder", "outbuf", "meta",
+        "state", "pending",
+    )
+
+    def __init__(self, wid: int, proc, sock: socket.socket, generation: int):
+        self.id = wid
+        self.proc = proc
+        self.sock = sock
+        self.generation = generation
+        self.decoder = FrameDecoder()
+        self.outbuf = bytearray()
+        self.meta: Dict[str, object] = {}
+        self.state = "booting"  # booting | ready | draining | dead
+        self.pending: set = set()
+
+
+class _Fanout:
+    """One in-flight health/metrics fan-out across the worker set."""
+
+    __slots__ = ("op", "conn", "waiting", "replies", "deadline")
+
+    def __init__(self, op: str, conn: Optional[_Conn], deadline: float):
+        self.op = op
+        self.conn = conn
+        self.waiting: Dict[int, _Worker] = {}
+        self.replies: List[Tuple[_Worker, Dict[str, object]]] = []
+        self.deadline = deadline
+
+
+class _Swap:
+    """One in-flight hot swap: a new worker set booting behind the scenes."""
+
+    __slots__ = ("conn", "path", "new", "deadline")
+
+    def __init__(self, conn: Optional[_Conn], path: str, deadline: float):
+        self.conn = conn
+        self.path = path
+        self.new: List[_Worker] = []
+        self.deadline = deadline
+
+
+class ScaleOutServer:
+    """N worker processes behind one async HTTP front door.
+
+    Construction forks and boots the initial worker set (blocking until
+    every worker reports ready or errors).  ``port=0`` binds an ephemeral
+    port; the bound port is available as :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        artifact_path: str,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        max_body_bytes: int = 1 << 20,
+        cache_size: int = 256,
+        index: Optional[str] = None,
+        nprobe: Optional[int] = None,
+        access_log: bool = False,
+        mmap: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        boot_timeout: float = 120.0,
+        request_timeout: float = 60.0,
+        fanout_timeout: float = 10.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        npz_path = _resolve_artifact(artifact_path)
+        if npz_path is None:
+            raise FileNotFoundError(f"artifact not found: {artifact_path}")
+        self._artifact_path = npz_path
+        self.max_body_bytes = int(max_body_bytes)
+        self.access_log = bool(access_log)
+        self._worker_options = {
+            "cache_size": int(cache_size),
+            "index": index,
+            "nprobe": nprobe,
+            "mmap": bool(mmap),
+        }
+        self._boot_timeout = float(boot_timeout)
+        self._request_timeout = float(request_timeout)
+        self._fanout_timeout = float(fanout_timeout)
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            self._mp = multiprocessing.get_context()
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._http_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests by method, route and status.",
+            labelnames=("method", "path", "status"),
+        )
+        self._http_duration = self.registry.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request handling latency by route.",
+            labelnames=("path",),
+        )
+        self._rejected_oversize = self.registry.counter(
+            "repro_http_rejected_oversize_total",
+            "Requests refused with HTTP 413 (body over max_body_bytes).",
+        )
+        self.registry.gauge(
+            "repro_frontdoor_workers",
+            "Worker processes currently accepting dispatches.",
+        ).set_function(lambda: float(len(self._ready_workers())))
+
+        self._sel = selectors.DefaultSelector()
+        self._listen = socket.create_server((host, port), backlog=128)
+        self._listen.setblocking(False)
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+
+        self._workers: List[_Worker] = []
+        self._retiring: List[_Worker] = []
+        self._reap: List[_Worker] = []
+        self._next_worker_id = 0
+        self._generation = 0
+        self._artifact_sha: Optional[str] = None
+        self._pending: Dict[int, Tuple[str, object]] = {}
+        self._next_id = 0
+        self._rr = 0
+        self._swap: Optional[_Swap] = None
+        self._stop = False
+        self._reload_requested = False
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        try:
+            self._boot_initial(workers)
+        except BaseException:
+            self.close()
+            raise
+
+        self._sel.register(self._listen, selectors.EVENT_READ, ("listen", None))
+        self._sel.register(self._wake_recv, selectors.EVENT_READ, ("wake", None))
+        for worker in self._workers:
+            self._sel.register(
+                worker.sock, selectors.EVENT_READ, ("worker", worker)
+            )
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, path: str, generation: int) -> _Worker:
+        parent_sock, child_sock = socket.socketpair()
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        options = dict(self._worker_options)
+        options["worker"] = wid
+        options["generation"] = generation
+        from repro.serving.scaleout.worker import worker_main
+
+        proc = self._mp.Process(
+            target=worker_main,
+            args=(child_sock, path, options),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        child_sock.close()
+        return _Worker(wid, proc, parent_sock, generation)
+
+    def _boot_initial(self, n: int) -> None:
+        """Fork the first worker set and block until every one is ready."""
+        from repro.serving.scaleout.protocol import recv_frame
+
+        generation = self._generation + 1
+        workers = [
+            self._spawn_worker(self._artifact_path, generation)
+            for _ in range(n)
+        ]
+        try:
+            for worker in workers:
+                worker.sock.settimeout(self._boot_timeout)
+                frame = recv_frame(worker.sock)
+                if frame is None:
+                    raise RuntimeError(
+                        f"worker {worker.id} exited during boot"
+                    )
+                header, _ = frame
+                if header.get("op") != "ready":
+                    raise RuntimeError(
+                        f"worker {worker.id} failed to boot: "
+                        f"{header.get('error', header)}"
+                    )
+                worker.meta = header
+                worker.state = "ready"
+                worker.sock.settimeout(None)
+                worker.sock.setblocking(False)
+        except BaseException:
+            for worker in workers:
+                worker.sock.close()
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+                worker.proc.join(timeout=5)
+            raise
+        self._workers = workers
+        self._generation = generation
+        self._artifact_sha = workers[0].meta.get("artifact_sha")
+
+    def _ready_workers(self) -> List[_Worker]:
+        return [w for w in self._workers if w.state == "ready"]
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._listen.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._listen.getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def artifact_path(self) -> str:
+        return self._artifact_path
+
+    def artifact_summary(self) -> Dict[str, object]:
+        """What the fleet serves, from worker 0's ready report."""
+        meta = self._workers[0].meta if self._workers else {}
+        return {
+            "formulation": meta.get("formulation"),
+            "network": meta.get("network"),
+            "schema_version": meta.get("schema_version"),
+            "pool_rows": meta.get("pool_rows"),
+            "mmapped": meta.get("mmapped"),
+            "workers": len(self._workers),
+        }
+
+    def serve_forever(self) -> None:
+        """Block serving requests; SIGHUP hot-swaps, Ctrl-C drains."""
+        if threading.current_thread() is threading.main_thread():
+            if hasattr(signal, "SIGHUP"):
+                signal.signal(signal.SIGHUP, self._on_sighup)
+        try:
+            self._loop()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def start(self) -> "ScaleOutServer":
+        """Serve on a background thread (tests / embedding)."""
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-frontdoor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the loop (thread-safe), drain workers, release sockets."""
+        self._stop = True
+        try:
+            self._wake_send.send(b"s")
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.close()
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers + self._retiring + (
+            self._swap.new if self._swap else []
+        ):
+            self._shutdown_worker(worker)
+        for worker in self._reap:
+            worker.proc.join(timeout=2)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2)
+        for key in list(self._sel.get_map().values()):
+            kind, obj = key.data
+            if kind == "conn":
+                try:
+                    obj.sock.close()
+                except OSError:
+                    pass
+        try:
+            self._sel.close()
+        except OSError:
+            pass
+        for sock in (self._listen, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _shutdown_worker(self, worker: _Worker) -> None:
+        """Best-effort graceful worker stop: flush, drain, reap."""
+        try:
+            worker.sock.setblocking(True)
+            worker.sock.settimeout(2.0)
+            if worker.outbuf:
+                worker.sock.sendall(bytes(worker.outbuf))
+                worker.outbuf.clear()
+            if worker.state in ("ready", "booting"):
+                worker.sock.sendall(encode_frame({"op": "drain"}))
+            # Workers answer outstanding frames then exit; wait for EOF.
+            while worker.sock.recv(1 << 16):
+                pass
+        except OSError:
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=3)
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(timeout=2)
+        worker.state = "dead"
+
+    def __enter__(self) -> "ScaleOutServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _on_sighup(self, signum, frame) -> None:
+        self._reload_requested = True
+        try:
+            self._wake_send.send(b"r")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop:
+            for key, _mask in self._sel.select(timeout=0.2):
+                kind, obj = key.data
+                if kind == "listen":
+                    self._on_accept()
+                elif kind == "wake":
+                    try:
+                        self._wake_recv.recv(1 << 10)
+                    except OSError:
+                        pass
+                elif kind == "conn":
+                    self._on_conn_event(obj, _mask)
+                elif kind == "worker":
+                    self._on_worker_event(obj, _mask)
+            self._tick()
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        if self._reload_requested:
+            self._reload_requested = False
+            self._start_swap(None, {})
+        # Request timeouts → 504; fan-out timeouts → partial responses.
+        expired = [
+            rid for rid, (kind, obj) in self._pending.items()
+            if kind == "predict" and obj[2] <= now
+        ]
+        for rid in expired:
+            _, (conn, worker, _deadline) = self._pending.pop(rid)
+            worker.pending.discard(rid)
+            self._respond_json(conn, 504, {
+                "error": "worker did not answer in time",
+                "status": "unavailable",
+                "retriable": True,
+            })
+        for fanout in list({
+            obj for kind, obj in self._pending.values() if kind == "fanout"
+        }):
+            if fanout.deadline <= now:
+                for rid in list(fanout.waiting):
+                    self._pending.pop(rid, None)
+                    fanout.waiting[rid].pending.discard(rid)
+                fanout.waiting.clear()
+                self._finish_fanout(fanout, partial=True)
+        if self._swap is not None and self._swap.deadline <= now:
+            self._fail_swap("worker set did not become ready in time")
+        # Half-closed clients past their drain deadline, reaped workers.
+        for key in list(self._sel.get_map().values()):
+            kind, obj = key.data
+            if kind == "conn" and obj.half_closed and obj.close_deadline <= now:
+                self._close_conn(obj)
+        for worker in list(self._reap):
+            worker.proc.join(timeout=0)
+            if not worker.proc.is_alive():
+                self._reap.remove(worker)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listen.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            conn = _Conn(sock, addr)
+            self._sel.register(sock, selectors.EVENT_READ, ("conn", conn))
+
+    def _conn_events(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        try:
+            key = self._sel.get_key(conn.sock)
+            if key.events != events:
+                self._sel.modify(conn.sock, events, key.data)
+        except KeyError:
+            pass
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            self._sel.unregister(conn.sock)
+        except KeyError:
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _on_conn_event(self, conn: _Conn, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE and conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(conn.outbuf))
+                del conn.outbuf[:sent]
+            except BlockingIOError:
+                pass
+            except OSError:
+                self._close_conn(conn)
+                return
+            if not conn.outbuf and conn.close_after_write:
+                if conn.discard > 0:
+                    # 413 path: FIN our side, then drain the remainder of
+                    # the oversized body so closing cannot RST the
+                    # response out of the client's receive buffer.
+                    try:
+                        conn.sock.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        self._close_conn(conn)
+                        return
+                    conn.half_closed = True
+                    conn.close_deadline = time.monotonic() + 2.0
+                else:
+                    self._close_conn(conn)
+                    return
+        if mask & selectors.EVENT_READ:
+            try:
+                data = conn.sock.recv(1 << 16)
+            except BlockingIOError:
+                data = None
+            except OSError:
+                self._close_conn(conn)
+                return
+            if data == b"":
+                self._close_conn(conn)
+                return
+            if data:
+                if conn.discard > 0:
+                    take = min(len(data), conn.discard)
+                    conn.discard -= take
+                    data = data[take:]
+                    if conn.discard <= 0 and conn.half_closed:
+                        self._close_conn(conn)
+                        return
+                if data:
+                    conn.inbuf.extend(data)
+        if not conn.closed:
+            self._process_conn(conn)
+            self._conn_events(conn)
+
+    def _process_conn(self, conn: _Conn) -> None:
+        """Parse as many complete requests as are buffered (stop while a
+        dispatched request awaits its worker — responses stay ordered)."""
+        while not conn.closed and not conn.busy:
+            if conn.expect_body:
+                if len(conn.inbuf) < conn.expect_body:
+                    return
+                body = bytes(conn.inbuf[:conn.expect_body])
+                del conn.inbuf[:conn.expect_body]
+                conn.expect_body = 0
+                self._route(conn, body)
+                continue
+            head_end = conn.inbuf.find(b"\r\n\r\n")
+            if head_end < 0:
+                if len(conn.inbuf) > _MAX_HEADER_BYTES:
+                    self._start_request(conn, "?", "?")
+                    self._respond_json(
+                        conn, 431, {"error": "request head too large"},
+                        close=True,
+                    )
+                return
+            head = bytes(conn.inbuf[:head_end])
+            del conn.inbuf[:head_end + 4]
+            if not self._parse_head(conn, head):
+                return
+
+    def _parse_head(self, conn: _Conn, head: bytes) -> bool:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            self._start_request(conn, "?", "?")
+            self._respond_json(
+                conn, 400, {"error": "malformed request line"}, close=True
+            )
+            return False
+        headers = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        self._start_request(conn, method, path)
+        conn.req_keep_alive = headers.get("connection", "").lower() != "close"
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            self._respond_json(
+                conn, 501, {"error": "chunked bodies are not supported"},
+                close=True,
+            )
+            return False
+        try:
+            length = int(headers.get("content-length", 0))
+        except ValueError:
+            self._respond_json(
+                conn, 400, {"error": "invalid Content-Length header"},
+                close=True,
+            )
+            return False
+        if length > self.max_body_bytes:
+            conn.discard = min(length, _DRAIN_LIMIT)
+            if conn.inbuf:
+                take = min(len(conn.inbuf), conn.discard)
+                del conn.inbuf[:take]
+                conn.discard -= take
+            self._respond_json(conn, 413, {
+                "error": (
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit"
+                )
+            }, close=True)
+            return False
+        if length:
+            conn.expect_body = length
+            return True
+        self._route(conn, b"")
+        return True
+
+    def _start_request(self, conn: _Conn, method: str, path: str) -> None:
+        conn.req_method = method
+        conn.req_path = path
+        conn.req_started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, conn: _Conn, body: bytes) -> None:
+        method, path = conn.req_method, conn.req_path
+        if method == "GET":
+            if path in ("/healthz", "/health"):
+                self._start_fanout(conn, "health")
+            elif path == "/metrics":
+                self._start_fanout(conn, "metrics")
+            else:
+                self._respond_json(
+                    conn, 404, {"error": f"unknown path {path}"}
+                )
+        elif method == "POST":
+            if path == "/predict":
+                self._dispatch_predict(conn, body)
+            elif path == "/admin/reload":
+                try:
+                    payload = json.loads(body.decode() or "{}")
+                    if not isinstance(payload, dict):
+                        raise ValueError("request body must be a JSON object")
+                except (UnicodeDecodeError, ValueError) as exc:
+                    self._respond_json(conn, 400, {"error": str(exc)})
+                    return
+                self._start_swap(conn, payload)
+            else:
+                self._respond_json(
+                    conn, 404, {"error": f"unknown path {path}"}
+                )
+        else:
+            self._respond_json(
+                conn, 501, {"error": f"unsupported method {method}"}
+            )
+
+    def _dispatch_predict(self, conn: _Conn, body: bytes) -> None:
+        ready = self._ready_workers()
+        if not ready:
+            self._respond_json(conn, 503, {
+                "error": "no ready workers",
+                "status": "unavailable",
+                "retriable": True,
+            })
+            return
+        worker = ready[self._rr % len(ready)]
+        self._rr = (self._rr + 1) % max(1, len(ready))
+        rid = self._next_id
+        self._next_id += 1
+        deadline = time.monotonic() + self._request_timeout
+        self._pending[rid] = ("predict", (conn, worker, deadline))
+        worker.pending.add(rid)
+        conn.busy = True
+        self._send_to_worker(worker, {"id": rid, "op": "predict"}, body)
+
+    def _start_fanout(self, conn: Optional[_Conn], op: str) -> None:
+        ready = self._ready_workers()
+        fanout = _Fanout(op, conn, time.monotonic() + self._fanout_timeout)
+        if not ready:
+            self._finish_fanout(fanout, partial=True)
+            return
+        for worker in ready:
+            rid = self._next_id
+            self._next_id += 1
+            self._pending[rid] = ("fanout", fanout)
+            fanout.waiting[rid] = worker
+            worker.pending.add(rid)
+            self._send_to_worker(worker, {"id": rid, "op": op})
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _send_to_worker(
+        self, worker: _Worker, header: Dict[str, object], body: bytes = b""
+    ) -> None:
+        worker.outbuf += encode_frame(header, body)
+        events = selectors.EVENT_READ | selectors.EVENT_WRITE
+        try:
+            key = self._sel.get_key(worker.sock)
+            if key.events != events:
+                self._sel.modify(worker.sock, events, key.data)
+        except KeyError:
+            pass
+
+    def _on_worker_event(self, worker: _Worker, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            if worker.outbuf:
+                try:
+                    sent = worker.sock.send(bytes(worker.outbuf))
+                    del worker.outbuf[:sent]
+                except BlockingIOError:
+                    pass
+                except OSError:
+                    self._on_worker_death(worker)
+                    return
+            if not worker.outbuf:
+                try:
+                    key = self._sel.get_key(worker.sock)
+                    self._sel.modify(
+                        worker.sock, selectors.EVENT_READ, key.data
+                    )
+                except KeyError:
+                    pass
+        if mask & selectors.EVENT_READ:
+            while True:
+                try:
+                    data = worker.sock.recv(1 << 16)
+                except BlockingIOError:
+                    break
+                except OSError:
+                    self._on_worker_death(worker)
+                    return
+                if not data:
+                    self._on_worker_death(worker)
+                    return
+                worker.decoder.feed(data)
+                if len(data) < (1 << 16):
+                    break
+            try:
+                for header, body in worker.decoder.frames():
+                    self._on_worker_frame(worker, header, body)
+            except ProtocolError:
+                self._on_worker_death(worker)
+
+    def _on_worker_frame(
+        self, worker: _Worker, header: Dict[str, object], body: bytes
+    ) -> None:
+        op = header.get("op")
+        if op == "ready":
+            worker.meta = header
+            worker.state = "ready"
+            self._check_swap()
+            return
+        if op == "error":
+            if self._swap is not None and worker in self._swap.new:
+                self._fail_swap(str(header.get("error", "worker boot failed")))
+            else:
+                self._on_worker_death(worker)
+            return
+        if op == "drained":
+            self._retire_worker(worker)
+            return
+        if op == "pong":
+            return
+        rid = header.get("id")
+        entry = self._pending.pop(rid, None)
+        worker.pending.discard(rid)
+        if entry is None:
+            return  # timed out / connection gone
+        kind, obj = entry
+        if kind == "predict":
+            conn, _worker, _deadline = obj
+            status = int(header.get("status", 500))
+            self._respond(conn, status, bytes(body) or b"{}")
+        elif kind == "fanout":
+            fanout = obj
+            fanout.waiting.pop(rid, None)
+            try:
+                fanout.replies.append((worker, json.loads(body.decode() or "{}")))
+            except (UnicodeDecodeError, ValueError):
+                pass
+            if not fanout.waiting:
+                self._finish_fanout(fanout)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        if worker.state == "dead":
+            return
+        expected = worker.state == "draining"
+        worker.state = "dead"
+        try:
+            self._sel.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        for rid in list(worker.pending):
+            entry = self._pending.pop(rid, None)
+            if entry is None:
+                continue
+            kind, obj = entry
+            if kind == "predict":
+                conn, _w, _d = obj
+                self._respond_json(conn, 503, {
+                    "error": f"worker {worker.id} died mid-request",
+                    "status": "unavailable",
+                    "retriable": True,
+                })
+            elif kind == "fanout":
+                obj.waiting.pop(rid, None)
+                if not obj.waiting:
+                    self._finish_fanout(obj, partial=True)
+        worker.pending.clear()
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if worker in self._retiring:
+            self._retiring.remove(worker)
+        if self._swap is not None and worker in self._swap.new and not expected:
+            self._fail_swap(f"worker {worker.id} exited during boot")
+            return
+        self._reap.append(worker)
+
+    def _retire_worker(self, worker: _Worker) -> None:
+        """A draining worker confirmed it is done; reap it."""
+        worker.state = "dead"
+        try:
+            self._sel.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        if worker in self._retiring:
+            self._retiring.remove(worker)
+        self._reap.append(worker)
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def _start_swap(
+        self, conn: Optional[_Conn], payload: Dict[str, object]
+    ) -> None:
+        if self._swap is not None:
+            if conn is not None:
+                self._respond_json(
+                    conn, 409, {"error": "a reload is already in progress"}
+                )
+            return
+        requested = payload.get("artifact") or self._artifact_path
+        path = _resolve_artifact(str(requested))
+        if path is None:
+            if conn is not None:
+                self._respond_json(
+                    conn, 400, {"error": f"artifact not found: {requested}"}
+                )
+            return
+        try:
+            count = int(payload.get("workers") or len(self._workers) or 1)
+        except (TypeError, ValueError):
+            self._respond_json(conn, 400, {"error": "workers must be an int"})
+            return
+        if count < 1:
+            self._respond_json(conn, 400, {"error": "workers must be >= 1"})
+            return
+        swap = _Swap(conn, path, time.monotonic() + self._boot_timeout)
+        generation = self._generation + 1
+        for _ in range(count):
+            worker = self._spawn_worker(path, generation)
+            worker.sock.setblocking(False)
+            self._sel.register(
+                worker.sock, selectors.EVENT_READ, ("worker", worker)
+            )
+            swap.new.append(worker)
+        self._swap = swap
+        if conn is not None:
+            conn.busy = True  # response lands when the swap resolves
+
+    def _check_swap(self) -> None:
+        swap = self._swap
+        if swap is None or any(w.state != "ready" for w in swap.new):
+            return
+        # Every new worker is ready: switch routing atomically, then drain
+        # the old set.  Drain frames queue FIFO behind any predicts already
+        # dispatched to an old worker, so nothing in flight is lost.
+        old = self._workers
+        self._workers = swap.new
+        self._generation = swap.new[0].generation
+        self._artifact_path = swap.path
+        self._artifact_sha = swap.new[0].meta.get("artifact_sha")
+        self._rr = 0
+        self._swap = None
+        for worker in old:
+            worker.state = "draining"
+            self._retiring.append(worker)
+            self._send_to_worker(worker, {"op": "drain"})
+        if swap.conn is not None:
+            self._respond_json(swap.conn, 200, {
+                "status": "ok",
+                "artifact_generation": self._generation,
+                "artifact_sha": self._artifact_sha,
+                "workers": len(self._workers),
+            })
+
+    def _fail_swap(self, reason: str) -> None:
+        swap = self._swap
+        if swap is None:
+            return
+        self._swap = None
+        for worker in swap.new:
+            try:
+                self._sel.unregister(worker.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.state = "dead"
+            self._reap.append(worker)
+        if swap.conn is not None:
+            self._respond_json(swap.conn, 500, {
+                "error": f"reload failed: {reason}; previous workers "
+                         f"keep serving",
+                "artifact_generation": self._generation,
+            })
+
+    # ------------------------------------------------------------------
+    # responses & aggregation
+    # ------------------------------------------------------------------
+    def _finish_fanout(self, fanout: _Fanout, partial: bool = False) -> None:
+        if fanout.conn is None or fanout.conn.closed:
+            return
+        if fanout.op == "health":
+            self._respond_json(
+                fanout.conn, 200, self._health_payload(fanout, partial)
+            )
+        else:
+            snapshots = [reply for _w, reply in fanout.replies]
+            labels = [
+                {"worker": str(w.id)} for w, _reply in fanout.replies
+            ]
+            merged = merge_snapshots(snapshots, gauge_labels=labels)
+            text = self.registry.render_prometheus()
+            if merged:
+                text = text + render_snapshot_prometheus(merged)
+            self._respond(
+                fanout.conn, 200, text.encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+
+    def _health_payload(
+        self, fanout: _Fanout, partial: bool
+    ) -> Dict[str, object]:
+        from repro.serving.engine import InferenceEngine
+
+        ready = self._ready_workers()
+        metas = [reply.get("meta", {}) for _w, reply in fanout.replies]
+        engines = [reply.get("engine", {}) for _w, reply in fanout.replies]
+        meta0 = metas[0] if metas else {}
+        status = "ok" if ready and not partial else "degraded"
+        return {
+            "status": status,
+            "workers": len(ready),
+            "artifact_generation": int(self._generation),
+            "artifact_sha": self._artifact_sha,
+            "mmapped": bool(metas) and all(m.get("mmapped") for m in metas),
+            "formulation": meta0.get("formulation"),
+            "network": meta0.get("network"),
+            "schema_version": meta0.get("schema_version"),
+            "incremental": meta0.get("incremental"),
+            "compiled": meta0.get("compiled"),
+            "index": meta0.get("index"),
+            "nprobe": meta0.get("nprobe"),
+            "pool_rows": meta0.get("pool_rows"),
+            "engine": InferenceEngine.merge_snapshots(engines),
+            "workers_detail": [
+                {
+                    "worker": w.id,
+                    "pid": reply.get("meta", {}).get("pid"),
+                    "generation": reply.get("meta", {}).get("generation"),
+                    "engine": reply.get("engine", {}),
+                }
+                for w, reply in fanout.replies
+            ],
+            "server": {
+                "rejected_oversize": self._rejected_oversize.value,
+            },
+        }
+
+    def _respond_json(
+        self, conn: _Conn, status: int, payload: Dict[str, object],
+        close: bool = False,
+    ) -> None:
+        self._respond(
+            conn, status, json.dumps(payload).encode(), close=close
+        )
+
+    def _respond(
+        self, conn: _Conn, status: int, body: bytes,
+        content_type: str = "application/json", close: bool = False,
+    ) -> None:
+        if conn.closed:
+            return
+        close = close or not conn.req_keep_alive
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        )
+        conn.outbuf += head.encode() + body
+        conn.close_after_write = close
+        conn.busy = False
+        self._record_request(conn, status)
+        self._conn_events(conn)
+        if not close:
+            self._process_conn(conn)
+
+    _ROUTES = ("/predict", "/healthz", "/health", "/metrics", "/admin/reload")
+
+    def _record_request(self, conn: _Conn, status: int) -> None:
+        route = conn.req_path if conn.req_path in self._ROUTES else "other"
+        duration = time.perf_counter() - conn.req_started
+        self._http_requests.labels(
+            method=conn.req_method, path=route, status=str(status)
+        ).inc()
+        self._http_duration.labels(path=route).observe(duration)
+        if status == 413:
+            self._rejected_oversize.inc()
+        if self.access_log:
+            access_logger.info(json.dumps({
+                "method": conn.req_method,
+                "path": conn.req_path,
+                "status": int(status),
+                "latency_ms": round(duration * 1000.0, 3),
+                "workers": len(self._ready_workers()),
+            }, sort_keys=True))

@@ -1,0 +1,133 @@
+"""Length-prefixed framing between the front door and worker processes.
+
+One frame is::
+
+    u32 header_len | u32 body_len | header (JSON, UTF-8) | body (raw bytes)
+
+(big-endian lengths).  The *header* carries routing and control fields —
+``op`` (``predict`` / ``health`` / ``metrics`` / ``drain`` / ``ready`` /
+``error`` / …), the request ``id`` the front door uses to match replies to
+waiting HTTP connections, status codes, JSON-safe stats.  The *body* is an
+opaque byte string: for ``predict`` frames it is the client's raw HTTP
+body on the way in and the JSON response on the way out, so the front
+door never parses rows — it stays an I/O loop, and all row handling CPU
+lands on the workers.
+
+Two consumption styles, matching the two sides of the socket:
+
+* workers block — :func:`recv_frame` reads exactly one frame;
+* the front door multiplexes — it feeds whatever bytes the selector hands
+  it into a :class:`FrameDecoder` and drains complete frames.
+
+Frames are bounded (:data:`MAX_FRAME_BYTES`) so a corrupted length prefix
+fails loudly instead of allocating gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+_PREFIX = struct.Struct(">II")
+
+#: Hard per-frame ceiling — far above any request the HTTP layer admits
+#: (its own ``max_body_bytes`` is the real limit) but small enough that a
+#: desynchronized stream cannot trigger a giant allocation.
+MAX_FRAME_BYTES = 1 << 28  # 256 MiB
+
+Frame = Tuple[Dict[str, object], bytes]
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that cannot be a frame (or hung up mid-frame)."""
+
+
+def encode_frame(header: Dict[str, object], body: bytes = b"") -> bytes:
+    """Serialize one frame to bytes (the front door appends to outbufs)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    if len(header_bytes) + len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(header_bytes) + len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _PREFIX.pack(len(header_bytes), len(body)) + header_bytes + body
+
+
+def send_frame(
+    sock: socket.socket, header: Dict[str, object], body: bytes = b""
+) -> None:
+    """Blocking send of one frame (the worker side)."""
+    sock.sendall(encode_frame(header, body))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or ``None`` on a clean EOF at a frame
+    boundary (``n`` asked, zero received on the first read)."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Frame]:
+    """Blocking read of one frame; ``None`` on clean EOF (peer is gone)."""
+    prefix = _recv_exact(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    header_len, body_len = _PREFIX.unpack(prefix)
+    if header_len + body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame of {header_len + body_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    header_bytes = _recv_exact(sock, header_len) if header_len else b"{}"
+    if header_bytes is None:
+        raise ProtocolError("peer closed between prefix and header")
+    body = _recv_exact(sock, body_len) if body_len else b""
+    if body is None:
+        raise ProtocolError("peer closed between header and body")
+    return json.loads(header_bytes.decode()), body
+
+
+class FrameDecoder:
+    """Incremental frame decoder for the non-blocking front-door side.
+
+    Feed it whatever ``recv`` returned; iterate :meth:`frames` for every
+    complete frame buffered so far.  Partial frames stay buffered across
+    feeds — exactly the state machine a selectors loop needs.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[Frame]:
+        while True:
+            if len(self._buffer) < _PREFIX.size:
+                return
+            header_len, body_len = _PREFIX.unpack_from(self._buffer)
+            total = _PREFIX.size + header_len + body_len
+            if header_len + body_len > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"declared frame of {header_len + body_len} bytes "
+                    f"exceeds the {MAX_FRAME_BYTES}-byte frame limit"
+                )
+            if len(self._buffer) < total:
+                return
+            header_bytes = bytes(
+                self._buffer[_PREFIX.size:_PREFIX.size + header_len]
+            )
+            body = bytes(self._buffer[_PREFIX.size + header_len:total])
+            del self._buffer[:total]
+            yield json.loads(header_bytes.decode() or "{}"), body

@@ -1,0 +1,203 @@
+"""Worker process main loop for scale-out serving.
+
+Each worker is one forked process owning a full serving stack — artifact,
+:class:`~repro.serving.InferenceEngine` (compiled plan, LRU cache, index)
+and a private :class:`~repro.obs.MetricsRegistry` — and speaking the
+length-prefixed frame protocol (:mod:`repro.serving.scaleout.protocol`)
+over the socketpair the front door handed it at fork.
+
+The artifact is loaded with ``mmap_mode="r"``: the ``.npz``'s arrays
+become read-only ``np.memmap`` views, so N workers share **one** physical
+copy of the pool state (activations, incidence structures, retrieval
+pools) through the page cache instead of N private copies.  Network
+weights are the exception — ``load_state_dict`` copies them into private
+writable arrays — but weights are tiny next to pool state.
+
+Request semantics are *identical* to the single-process server: predicts
+run through :func:`repro.serving.server.execute_predict`, the same code
+path ``--workers 0`` uses, so the scale-out deployment inherits the
+single-process correctness oracle.
+
+Ops handled (serially — one worker, one request at a time; the front door
+provides the concurrency by fanning out across workers):
+
+``predict``   body = raw HTTP body → reply status + JSON response body
+``health``    reply body = engine snapshot + artifact identity
+``metrics``   reply body = registry snapshot (merged by the front door)
+``ping``      liveness probe → ``pong``
+``drain``     finish (frames already received are, by FIFO, already
+              answered), reply ``drained``, exit 0
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+from typing import Dict, Optional
+
+from repro.serving.scaleout.protocol import (
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+
+def worker_main(
+    sock: socket.socket,
+    artifact_path: str,
+    options: Optional[Dict[str, object]] = None,
+) -> int:
+    """Entry point executed inside the forked worker process.
+
+    Sends exactly one ``ready`` (or ``error``) frame, then serves request
+    frames until ``drain`` or EOF.  Never raises across the process
+    boundary — failures become ``error`` frames / nonzero exit codes.
+    """
+    options = dict(options or {})
+    # The front door owns interactive signals: a Ctrl-C in the terminal
+    # reaches the whole process group, but only the front door should act
+    # on it (it drains workers explicitly). SIGTERM keeps its default so
+    # the front door can still kill a hung worker.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+
+    try:
+        registry, engine, meta = _boot(artifact_path, options)
+    except Exception as exc:
+        try:
+            send_frame(sock, {
+                "op": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "worker": options.get("worker"),
+                "pid": os.getpid(),
+            })
+        except OSError:
+            pass
+        return 1
+
+    try:
+        send_frame(sock, dict(meta, op="ready"))
+    except OSError:
+        return 1
+
+    return _serve(sock, registry, engine, meta)
+
+
+def _boot(artifact_path: str, options: Dict[str, object]):
+    """Load the artifact (mmap by default) and build the serving stack."""
+    # Imports happen post-fork on purpose: the worker re-resolves modules
+    # in its own process, and a failure lands in the error frame.
+    from repro.obs import MetricsRegistry
+    from repro.serving.artifact import ModelArtifact
+    from repro.serving.engine import InferenceEngine
+
+    mmap_mode = "r" if options.get("mmap", True) else None
+    artifact = ModelArtifact.load(artifact_path, mmap_mode=mmap_mode)
+    registry = MetricsRegistry()
+    engine = InferenceEngine(
+        artifact,
+        registry=registry,
+        cache_size=int(options.get("cache_size", 256)),
+        index=options.get("index"),
+        nprobe=options.get("nprobe"),
+    )
+    generation = int(options.get("generation", 1))
+    registry.gauge(
+        "repro_engine_artifact_generation",
+        "Monotonic artifact generation serving predictions "
+        "(bumps on each hot swap).",
+    ).set_function(lambda: float(generation))
+    meta = {
+        "worker": options.get("worker"),
+        "pid": os.getpid(),
+        "generation": generation,
+        "artifact_sha": artifact.content_sha,
+        "mmapped": artifact.mmap_mode == "r",
+        "formulation": artifact.formulation,
+        "network": artifact.network,
+        "schema_version": int(artifact.schema_version),
+        "incremental": bool(engine.incremental),
+        "compiled": bool(engine.compiled),
+        "compile_ms": float(engine.compile_ms),
+        "index": engine.index,
+        "nprobe": engine.nprobe,
+        "index_build_ms": float(engine.index_build_ms),
+        "pool_rows": artifact.pool_rows,
+    }
+    return registry, engine, meta
+
+
+def _serve(sock, registry, engine, meta) -> int:
+    from repro.serving.server import (
+        _BadRequest,
+        execute_predict,
+    )
+
+    requests = registry.counter(
+        "repro_worker_requests_total",
+        "Frames handled by this worker, by op and status.",
+        labelnames=("op", "status"),
+    )
+    while True:
+        try:
+            frame = recv_frame(sock)
+        except ProtocolError:
+            return 1
+        except OSError:
+            return 1
+        if frame is None:  # front door is gone
+            return 0
+        header, body = frame
+        op = str(header.get("op", ""))
+        reply: Dict[str, object] = {"id": header.get("id"), "op": f"{op}_result"}
+        out = b""
+        if op == "predict":
+            status = 200
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                status, response = 400, {"error": f"invalid JSON body: {exc}"}
+            else:
+                try:
+                    response = execute_predict(engine, payload)
+                except _BadRequest as exc:
+                    status, response = 400, {"error": str(exc)}
+                except Exception as exc:  # defensive: keep the worker alive
+                    status, response = 500, {
+                        "error": f"{type(exc).__name__}: {exc}"
+                    }
+            reply["status"] = status
+            reply["rows"] = int(response.get("rows", 0)) if status == 200 else 0
+            out = json.dumps(response).encode()
+            requests.labels(op="predict", status=str(status)).inc()
+        elif op == "health":
+            out = json.dumps({
+                "meta": meta,
+                "engine": engine.snapshot(),
+            }).encode()
+            requests.labels(op="health", status="200").inc()
+        elif op == "metrics":
+            out = json.dumps(registry.snapshot()).encode()
+            requests.labels(op="metrics", status="200").inc()
+        elif op == "ping":
+            reply["op"] = "pong"
+        elif op == "drain":
+            # FIFO framing means every predict received before this frame
+            # has already been answered — nothing in flight can be lost.
+            reply["op"] = "drained"
+            reply["engine"] = engine.snapshot()
+            try:
+                send_frame(sock, reply)
+            except OSError:
+                pass
+            return 0
+        else:
+            reply["op"] = "error"
+            reply["error"] = f"unknown op {op!r}"
+        try:
+            send_frame(sock, reply, out)
+        except OSError:
+            return 1

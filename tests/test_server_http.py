@@ -11,6 +11,8 @@ also pins the ``/healthz`` contract for the newly-servable formulation.
 import http.client
 import json
 import logging
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -326,3 +328,203 @@ class TestAccessLog:
             logger.removeHandler(handler)
             logger.setLevel(old_level)
         assert records == []
+
+
+class TestArtifactIdentity:
+    def test_healthz_carries_generation_and_sha(self, server):
+        status, health = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert health["artifact_generation"] == 1
+        # This module's artifact was built in memory (never load()ed), so
+        # its content hash is unknown — the field must still be present.
+        assert "artifact_sha" in health
+        assert health["mmapped"] is False
+
+    def test_generation_gauge_in_metrics(self, server):
+        text = _scrape(server)
+        assert _sample_value(text, "repro_engine_artifact_generation") == 1
+
+
+class TestUnavailableStates:
+    def test_predict_during_drain_returns_structured_503(self, artifact, dataset):
+        with PredictionServer(artifact, port=0) as srv:
+            srv._draining = True
+            try:
+                status, payload = _request(
+                    srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+                )
+            finally:
+                srv._draining = False
+            assert status == 503
+            assert payload["status"] == "unavailable"
+            assert payload["retriable"] is True
+            assert "draining" in payload["error"]
+            # Back out of the drain: the server still serves.
+            status, payload = _request(
+                srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+            )
+            assert status == 200
+
+    def test_lazy_init_returns_503_until_engine_ready(
+        self, artifact, dataset, monkeypatch
+    ):
+        import threading as _threading
+
+        release = _threading.Event()
+        original = PredictionServer._build_service
+
+        def slow_build(self, art):
+            release.wait(timeout=30)
+            return original(self, art)
+
+        monkeypatch.setattr(PredictionServer, "_build_service", slow_build)
+        srv = PredictionServer(artifact, port=0, lazy_init=True)
+        srv.start()
+        try:
+            # Socket is up before the engine exists; /predict answers 503
+            # and /healthz reports the initializing state.
+            status, payload = _request(
+                srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+            )
+            assert status == 503
+            assert payload["retriable"] is True
+            status, health = _request(srv, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "initializing"
+            release.set()
+            assert srv.wait_ready(timeout=30)
+            status, payload = _request(
+                srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+            )
+            assert status == 200
+        finally:
+            release.set()
+            srv.shutdown()
+
+    def test_shutdown_flushes_in_flight_requests(self, artifact, dataset):
+        srv = PredictionServer(artifact, port=0, max_delay_ms=50.0)
+        srv.start()
+        results = []
+        lock = threading.Lock()
+
+        def one_predict():
+            try:
+                status, payload = _request(
+                    srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+                )
+            except OSError as exc:
+                status, payload = "exc", repr(exc)
+            with lock:
+                results.append((status, payload))
+
+        threads = [threading.Thread(target=one_predict) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)  # let requests reach the batcher's delay window
+        srv.shutdown()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert not any(thread.is_alive() for thread in threads)
+        # Every request resolved: completed (200) or refused at the drain
+        # gate (503) — never a closed-batcher 500, never a hang.
+        assert results
+        statuses = {status for status, _ in results}
+        assert statuses <= {200, 503}
+        assert 200 in statuses  # the in-flight ones actually completed
+
+
+class TestHotReload:
+    def test_reload_under_load_swaps_without_dropping(self, tmp_path):
+        from repro.datasets import make_correlated_instances
+        from repro.pipeline import run_pipeline
+        from repro.serving import InferenceEngine
+
+        path_a = run_pipeline(
+            make_correlated_instances(n=120, seed=0)
+        ).export_artifact().save(tmp_path / "a")
+        path_b = run_pipeline(
+            make_correlated_instances(n=120, seed=1)
+        ).export_artifact().save(tmp_path / "b")
+        srv = PredictionServer(ModelArtifact.load(path_a), port=0)
+        srv.start()
+        try:
+            stop = threading.Event()
+            results = []
+            lock = threading.Lock()
+            body = json.dumps({"numerical": [0.15] * 16})
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        status, payload = _request(
+                            srv, "POST", "/predict", body=body
+                        )
+                    except OSError as exc:
+                        status, payload = "exc", repr(exc)
+                    with lock:
+                        results.append((status, payload))
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                status, reload_info = _request(
+                    srv, "POST", "/admin/reload",
+                    body=json.dumps({"artifact": str(path_b)}),
+                )
+            finally:
+                time.sleep(0.3)
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            assert status == 200
+            assert reload_info["artifact_generation"] == 2
+            assert results
+            bad = [r for r in results if r[0] != 200]
+            assert not bad, f"requests dropped during hot swap: {bad[:5]}"
+
+            # Post-swap identity and parity with the new artifact's oracle.
+            status, health = _request(srv, "GET", "/healthz")
+            assert health["artifact_generation"] == 2
+            assert health["artifact_sha"] == ModelArtifact.load(path_b).content_sha
+            probe = np.asarray([0.15] * 16)
+            expected = (
+                InferenceEngine(ModelArtifact.load(path_b))
+                .predict(probe).round(6).tolist()
+            )
+            status, payload = _request(srv, "POST", "/predict", body=body)
+            assert status == 200
+            assert payload["probabilities"][0] == expected
+        finally:
+            srv.shutdown()
+
+    def test_concurrent_reload_conflicts_with_409(self, artifact):
+        with PredictionServer(artifact, port=0) as srv:
+            assert srv._reload_lock.acquire(blocking=False)
+            try:
+                status, payload = _request(srv, "POST", "/admin/reload", body="{}")
+            finally:
+                srv._reload_lock.release()
+            assert status == 409
+            assert "in progress" in payload["error"]
+
+    def test_reload_bad_path_returns_400_and_keeps_serving(
+        self, artifact, dataset
+    ):
+        with PredictionServer(artifact, port=0) as srv:
+            status, payload = _request(
+                srv, "POST", "/admin/reload",
+                body=json.dumps({"artifact": "/nonexistent.npz"}),
+            )
+            assert status == 400
+            status, payload = _request(
+                srv, "POST", "/predict", body=json.dumps(_good_row(dataset))
+            )
+            assert status == 200
+
+    def test_reload_without_source_returns_400(self, artifact):
+        # This artifact was never load()ed from disk: no source_path.
+        with PredictionServer(artifact, port=0) as srv:
+            status, payload = _request(srv, "POST", "/admin/reload", body="{}")
+            assert status == 400
+            assert "source_path" in payload["error"] or "no artifact" in payload["error"]
